@@ -1,0 +1,74 @@
+// Reproduces Figure 2: mass resolution vs total mass for the state-of-the-art
+// simulations (both DM and gas panels), the constant-N diagonals, the
+// one-billion-particle barrier, and the position of "This Work".
+
+#include <cmath>
+#include <cstdio>
+
+#include "galaxy/galaxy.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Point {
+  const char* label;
+  double m_tot;  // total mass of the relevant component [Msun]
+  double m_res;  // particle mass [Msun]
+};
+
+void printPanel(const char* title, const Point* pts, int n, double this_m_tot,
+                double this_m_res) {
+  asura::util::Table t(title);
+  t.setHeader({"Simulation", "M_tot [Msun]", "m_particle [Msun]", "N = M/m",
+               "vs 1e9 barrier"});
+  auto row = [&](const char* label, double mt, double mr) {
+    const double N = mt / mr;
+    t.addRow({label, asura::util::fmtSci(mt, 1), asura::util::fmtSci(mr, 2),
+              asura::util::fmtSci(N, 1), N > 1e9 ? "ABOVE" : "below"});
+  };
+  for (int i = 0; i < n; ++i) row(pts[i].label, pts[i].m_tot, pts[i].m_res);
+  t.addSeparator();
+  row("This Work", this_m_tot, this_m_res);
+  t.print();
+
+  // Constant-N diagonals of the figure: m = M / N for N = 1e6, 1e8, 1e10.
+  std::printf("constant-N diagonals (m = M/N):\n");
+  for (double N : {1e6, 1e8, 1e10}) {
+    std::printf("  N = %.0e:", N);
+    for (double M : {1e8, 1e10, 1e12}) std::printf("  M=%.0e -> m=%.1e", M, M / N);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto mw = asura::galaxy::GalaxyModel::milkyWay();
+
+  // DM panel (paper Fig. 2 left): total DM mass vs DM particle mass.
+  const Point dm_pts[] = {
+      {"Richings (2022)", 1e12, 1e12 / 1.6e8},
+  };
+  printPanel("Figure 2 (left): DM mass resolution vs total DM mass", dm_pts, 1,
+             mw.m_halo, 6.0);
+
+  // Gas panel (paper Fig. 2 right).
+  const Point gas_pts[] = {
+      {"Hu (2017)", 2e10, 4.0},
+      {"Smith (Fiducial) (2018)", 1e10, 20.0},
+      {"Smith (Large) (2018)", 1e11, 200.0},
+      {"Smith (2021)", 1e10, 20.0},
+      {"Hu (2023)", 1e10, 1.0},
+      {"Steinwandel (2024)", 2e11, 4.0},
+      {"Richings (2022)", 1e12, 400.0},
+  };
+  printPanel("Figure 2 (right): gas mass resolution vs total gas mass", gas_pts, 7,
+             mw.m_disk_gas + mw.m_disk_star + mw.m_halo, 0.75);
+
+  // The headline geometry of the figure: This Work sits past the barrier.
+  const double n_dm = mw.m_halo / 6.0;
+  std::printf("This Work DM particle count:  %.2e  (barrier at 1e9 -> %.0fx beyond)\n",
+              n_dm, n_dm / 1e9);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Reproduces the §3.3 validation: the surrogate's post-SN state vs the
+// direct (oracle) evolution — total energy, momentum, and the density /
+// temperature PDFs ("We also confirmed that the probability distribution
+// functions of gas density and temperature are reproduced with the
+// surrogate model for SNe"). Compares three backends: Sedov oracle, a
+// U-Net trained on oracle data here and now, and an untrained U-Net
+// (ablation: why training matters).
+
+#include <cstdio>
+#include <numbers>
+
+#include "core/surrogate.hpp"
+#include "ml/optimizer.hpp"
+#include "sn/turbulence.hpp"
+#include "util/histogram.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using asura::fdps::Particle;
+using asura::fdps::Species;
+using asura::util::Vec3d;
+
+/// Star-forming-region-like box: turbulent velocities with P(k) ∝ k^-4.
+std::vector<Particle> turbulentBox(std::uint64_t seed, int n_particles = 3000) {
+  asura::sn::TurbulenceParams tp;
+  tp.n = 16;
+  tp.box_size = 60.0;
+  tp.v_rms = 3.0;
+  tp.seed = seed;
+  const auto vel = asura::sn::turbulentVelocityField(tp);
+
+  asura::util::Pcg32 rng(seed, 77);
+  std::vector<Particle> parts;
+  const double rho0 = 1.0;
+  const double mass = rho0 * 60.0 * 60.0 * 60.0 / n_particles;
+  for (int i = 0; i < n_particles; ++i) {
+    Particle p;
+    p.id = static_cast<std::uint64_t>(i) + 1;
+    p.type = Species::Gas;
+    p.mass = mass;
+    p.pos = {rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-30, 30)};
+    const int ci = static_cast<int>((p.pos.x + 30.0) / 60.0 * tp.n);
+    const int cj = static_cast<int>((p.pos.y + 30.0) / 60.0 * tp.n);
+    const int ck = static_cast<int>((p.pos.z + 30.0) / 60.0 * tp.n);
+    const std::size_t c =
+        (static_cast<std::size_t>(std::min(ci, tp.n - 1)) * tp.n +
+         std::min(cj, tp.n - 1)) *
+            static_cast<std::size_t>(tp.n) +
+        std::min(ck, tp.n - 1);
+    p.vel = {vel[0][c], vel[1][c], vel[2][c]};
+    p.u = asura::units::temperature_to_u(100.0, 1.27);
+    p.rho = rho0;
+    p.h = 3.0;
+    parts.push_back(p);
+  }
+  return parts;
+}
+
+struct Summary {
+  double energy, momentum, rho_l1, temp_l1;
+};
+
+Summary summarize(const std::vector<Particle>& ref, const std::vector<Particle>& test) {
+  auto energy = [](const std::vector<Particle>& v) {
+    double e = 0.0;
+    for (const auto& p : v) e += p.mass * (p.u + 0.5 * p.vel.norm2());
+    return e;
+  };
+  auto momentum = [](const std::vector<Particle>& v) {
+    Vec3d m{};
+    for (const auto& p : v) m += p.mass * p.vel;
+    return m.norm();
+  };
+  auto pdfs = [](const std::vector<Particle>& v, asura::util::Histogram& hr,
+                 asura::util::Histogram& ht) {
+    for (const auto& p : v) {
+      hr.add(std::max(p.rho, 1e-9), p.mass);
+      ht.add(asura::units::u_to_temperature(p.u, 0.6), p.mass);
+    }
+  };
+  asura::util::Histogram hr_ref(1e-6, 1e4, 24, true), ht_ref(1.0, 1e9, 24, true);
+  asura::util::Histogram hr_t(1e-6, 1e4, 24, true), ht_t(1.0, 1e9, 24, true);
+  pdfs(ref, hr_ref, ht_ref);
+  pdfs(test, hr_t, ht_t);
+  return {energy(test) / energy(ref), momentum(test),
+          asura::util::Histogram::l1Distance(hr_ref, hr_t),
+          asura::util::Histogram::l1Distance(ht_ref, ht_t)};
+}
+
+}  // namespace
+
+int main() {
+  const double horizon = 0.1;  // Myr, the paper's prediction window
+  const auto region = turbulentBox(11);
+
+  // Reference: the oracle (stands in for the direct 1-Msun simulation).
+  asura::core::SedovOracleBackend oracle;
+  const auto ref = oracle.predict(region, {0, 0, 0}, asura::units::E_SN, horizon);
+
+  // U-Net trained on oracle pairs (tiny: 16^3 grid, base width 4).
+  asura::ml::UNetConfig ucfg;
+  ucfg.base_width = 4;
+  asura::voxel::VoxelParams vp;
+  vp.grid_n = 16;
+  asura::core::UNetSurrogateBackend trained(ucfg, vp, 60.0, 99);
+  {
+    const asura::sph::Kernel kernel{};
+    asura::ml::Adam::Config oc;
+    oc.lr = 2e-3;
+    asura::ml::Adam opt(trained.network().parameters(), oc);
+    for (int epoch = 0; epoch < 12; ++epoch) {
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        auto box = turbulentBox(100 + s, 1500);
+        const auto in_grid = asura::voxel::depositParticles(box, {0, 0, 0}, 60.0, vp, kernel);
+        auto evolved = oracle.predict(box, {0, 0, 0}, asura::units::E_SN, horizon);
+        const auto out_grid =
+            asura::voxel::depositParticles(evolved, {0, 0, 0}, 60.0, vp, kernel);
+        const auto x = asura::voxel::encodeGrid(in_grid, vp);
+        auto delta = asura::voxel::encodeGrid(out_grid, vp);  // residual target
+        for (std::size_t i = 0; i < delta.numel(); ++i) delta[i] -= x[i];
+        trained.network().zeroGrad();
+        const auto pred = trained.network().forward(x);
+        asura::ml::Tensor g;
+        (void)asura::ml::mseLoss(pred, delta, &g);
+        trained.network().backward(g);
+        opt.step();
+      }
+    }
+  }
+  const auto out_trained = trained.predict(region, {0, 0, 0}, asura::units::E_SN, horizon);
+
+  asura::core::UNetSurrogateBackend untrained(ucfg, vp, 60.0, 7);
+  const auto out_raw = untrained.predict(region, {0, 0, 0}, asura::units::E_SN, horizon);
+
+  const auto s_oracle = summarize(ref, ref);
+  const auto s_trained = summarize(ref, out_trained);
+  const auto s_raw = summarize(ref, out_raw);
+
+  asura::util::Table t("Section 3.3 validation: surrogate vs direct post-SN state "
+                       "(0.1 Myr horizon)");
+  t.setHeader({"backend", "E/E_direct", "|p| [code]", "L1(rho PDF)", "L1(T PDF)"});
+  auto row = [&](const char* name, const Summary& s) {
+    t.addRow({name, asura::util::fmt(s.energy, 3), asura::util::fmt(s.momentum, 1),
+              asura::util::fmt(s.rho_l1, 3), asura::util::fmt(s.temp_l1, 3)});
+  };
+  row("direct (oracle reference)", s_oracle);
+  row("U-Net (trained on oracle data)", s_trained);
+  row("U-Net (untrained = identity ablation)", s_raw);
+  t.setFootnote("L1 PDF distance in [0,2]; the residual-parametrized U-Net starts at\n"
+                "the identity (no SN at all) and training moves it toward the direct\n"
+                "simulation's energy and PDFs (paper §3.3). Mass conservation is exact\n"
+                "by construction.");
+  t.print();
+
+  std::printf("\ntrained-vs-untrained improvement: rho PDF %.2fx, T PDF %.2fx\n",
+              s_raw.rho_l1 / std::max(s_trained.rho_l1, 1e-9),
+              s_raw.temp_l1 / std::max(s_trained.temp_l1, 1e-9));
+  return 0;
+}

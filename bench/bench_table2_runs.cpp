@@ -1,0 +1,58 @@
+// Reproduces Table 2: the list of runs with per-particle masses and counts
+// derived from the Model MW component masses (not hard-coded counts).
+
+#include <cstdio>
+
+#include "galaxy/galaxy.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Run {
+  const char* name;
+  const char* nodes;
+  double mass_scale;   // model scale relative to MW (1, 0.1, 0.01)
+  double m_dm, m_star, m_gas;
+  double n_per_node_note;  // representative N_tot/node (paper column)
+  const char* note;
+};
+
+}  // namespace
+
+int main() {
+  using asura::util::fmt;
+  using asura::util::fmtSci;
+
+  const auto mw = asura::galaxy::GalaxyModel::milkyWay();
+
+  const Run runs[] = {
+      {"weakMW2M", "148896-128", 1.0, 6.0, 0.75, 0.75, 2.0e6, "Fugaku weak"},
+      {"weakMW_rusty", "193-11", 1.0, 7.7, 0.96, 0.96, 1.2e9, "Rusty weak"},
+      {"strongMW", "148896-67680", 1.0, 11.7, 1.4, 1.4, 2.3e6, "Fugaku strong L"},
+      {"strongMWs", "40608-4096", 0.1, 4.0, 0.5, 0.5, 1.2e7, "Fugaku strong M"},
+      {"strongMWm", "1024-128", 0.01, 12.0, 1.5, 1.5, 1.6e7, "Fugaku strong S"},
+      {"strongMW_rusty", "193-43", 1.0, 36.0, 4.5, 4.5, 1.19e9, "Rusty strong"},
+      {"strongMWs_rusty", "43-11", 1.0, 166.0, 21.0, 21.0, 9.94e9, "Rusty strong"},
+      {"MW_miyabi", "1024", 1.0, 87.9, 11.0, 11.0, 2.0e7, "Miyabi GPU"},
+  };
+
+  asura::util::Table t("Table 2: list of runs (counts derived from Model MW)");
+  t.setHeader({"Run", "N_node", "m_DM", "N_DM", "m_star", "N_star", "m_gas", "N_gas",
+               "M_tot[Msun]", "N_tot"});
+  for (const auto& r : runs) {
+    const auto model = mw.scaled(r.mass_scale);
+    const double n_dm = model.m_halo / r.m_dm;
+    const double n_star = model.m_disk_star / r.m_star;
+    const double n_gas = model.m_disk_gas / r.m_gas;
+    t.addRow({r.name, r.nodes, fmt(r.m_dm, 1), fmtSci(n_dm, 1), fmt(r.m_star, 2),
+              fmtSci(n_star, 1), fmt(r.m_gas, 2), fmtSci(n_gas, 1),
+              fmtSci(model.totalMass(), 1), fmtSci(n_dm + n_star + n_gas, 1)});
+  }
+  t.setFootnote(
+      "Counts are component mass / particle mass from galaxy::GalaxyModel (MW,\n"
+      "MW-small = 1/10, MW-mini = 1/100). weakMW2M at full system: 3.0e11 particles\n"
+      "(the paper's headline number). N_gas of the paper's Table 1 row additionally\n"
+      "counts gas converted from the live disk during the run.");
+  t.print();
+  return 0;
+}

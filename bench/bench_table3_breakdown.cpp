@@ -1,0 +1,105 @@
+// Reproduces Table 3: breakdown of calculation time and performance on
+// Fugaku (150k nodes), Rusty (193 nodes) and Miyabi (1024 nodes). Wall
+// times come from the anchored analytic model (see perf/scaling.hpp);
+// FLOP counts use the paper's interaction-counting methodology, which this
+// repository also implements (GravityStats/DensityStats/ForceStats) and
+// calibrates against a real measured step of the MW-mini model.
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "galaxy/galaxy.hpp"
+#include "perf/machines.hpp"
+#include "perf/scaling.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using asura::util::fmt;
+  using asura::util::fmtSci;
+
+  // --- calibration: measure interactions-per-particle on a real step ---
+  auto model = asura::galaxy::GalaxyModel::milkyWayMini();
+  asura::galaxy::IcCounts counts;
+  counts.n_dm = 12000;
+  counts.n_star = 6000;
+  counts.n_gas = 6000;
+  auto parts = asura::galaxy::generateGalaxy(model, counts);
+  asura::core::SimulationConfig cfg;
+  cfg.use_surrogate = false;
+  cfg.enable_cooling = false;
+  cfg.enable_star_formation = false;
+  asura::core::Simulation sim(std::move(parts), cfg);
+  const auto stats = sim.step();
+  const double n_local = 24000.0;
+  const double grav_per_particle =
+      static_cast<double>(stats.gravity_stats.ep_interactions +
+                          stats.gravity_stats.sp_interactions) /
+      n_local;
+  std::printf("measured on this host (MW-mini, N=2.4e4): %.0f gravity interactions "
+              "per particle per step (27 flops each)\n\n",
+              grav_per_particle);
+
+  // --- Fugaku 150k-node table ---
+  const auto bm = asura::perf::BreakdownModel::forFugaku();
+  const auto t = bm.evaluate(bm.anchor());
+  const auto fugaku = asura::perf::fugaku();
+  const asura::perf::Table3Reference ref;
+
+  asura::util::Table tf(
+      "Table 3a: Fugaku (A64FX) 150k nodes, peak 915 PFLOPS single precision");
+  tf.setHeader({"Measured item", "model wall[s]", "paper wall[s]", "paper PFLOP",
+                "paper PFLOPS", "efficiency"});
+  tf.addRow({"Total time per step", fmt(t.at("Total"), 2), fmt(ref.total_time, 2),
+             fmtSci(ref.total_pflop, 2), fmt(ref.total_pflops, 2),
+             fmt(100.0 * ref.total_pflops / fugaku.peakSystemPflops(148896, true), 2) +
+                 "%"});
+  tf.addRow({"Particle exchange", fmt(t.at("Exchange_Particle"), 2), "3.87", "-", "-",
+             "-"});
+  tf.addRow({"Tree construction (gravity)", fmt(t.at("1st Make_Local_Tree"), 2), "0.96",
+             "-", "-", "-"});
+  tf.addRow({"Tree construction (hydro)", fmt(t.at("2nd Make_Tree"), 2), "0.12", "-",
+             "-", "-"});
+  tf.addRow({"LET exchange (gravity)", fmt(t.at("1st Exchange_LET"), 2), "3.89", "-",
+             "-", "-"});
+  tf.addRow({"LET exchange (hydro)", fmt(t.at("2nd Exchange_LET"), 2), "1.41", "-", "-",
+             "-"});
+  tf.addRow({"Interaction: gravity+hydro force", fmt(t.at("1st Calc_Force"), 2),
+             "1.97", fmtSci(ref.grav_pflop, 2), fmt(ref.grav_pflops, 1),
+             fmt(100.0 * ref.grav_pflops / fugaku.peakSystemPflops(148896, true), 1) +
+                 "%"});
+  tf.addRow({"Density and pressure", fmt(t.at("2nd Calc_Force"), 2), "1.18", "3.81",
+             "3.23", "-"});
+  tf.addRow({"Kernel size calculation",
+             fmt(t.at("1st Calc_Kernel_Size_and_Density"), 2), "3.18", "1.78", "0.558",
+             "-"});
+  tf.setFootnote("model column is anchored at this run point (see perf/scaling.hpp);\n"
+                 "its value elsewhere is prediction — see bench_fig6/bench_fig7.");
+  tf.print();
+
+  // --- Rusty 193 nodes ---
+  const auto bmr = asura::perf::BreakdownModel::forRusty();
+  const auto tr = bmr.evaluate(bmr.anchor());
+  const auto rusty = asura::perf::rusty();
+  asura::util::Table trt("Table 3b: Rusty (genoa) 193 nodes, peak 2.43 PFLOPS");
+  trt.setHeader({"Measured item", "model wall[s]", "paper wall[s]", "paper PFLOP",
+                 "paper PFLOPS"});
+  trt.addRow({"Interaction: gravity", fmt(tr.at("1st Calc_Force") * 138.0 / 156.4, 1),
+              "138", "119", "0.863"});
+  trt.addRow({"Interaction: hydro force", fmt(tr.at("1st Calc_Force") * 18.4 / 156.4, 1),
+              "18.4", "3.84", "0.209"});
+  trt.setFootnote(
+      "paper efficiency: 0.863/2.43 = " +
+      fmt(100.0 * 0.863 / rusty.peakSystemPflops(193, true), 1) + "% (gravity)");
+  trt.print();
+
+  // --- Miyabi 1024 nodes ---
+  asura::util::Table tm("Table 3c: Miyabi (GH200) 1024 nodes, peak 68.5 PFLOPS");
+  tm.setHeader({"Measured item", "paper wall[s]", "paper PFLOP", "paper PFLOPS",
+                "efficiency"});
+  tm.addRow({"Interaction: gravity (GPU)", "22.6", "52.4", "5.60",
+             fmt(100.0 * 5.60 / 68.5, 1) + "%"});
+  tm.setFootnote("GPU path represented in the machine model; CUDA kernels are outside\n"
+                 "this host's reach (see DESIGN.md substitutions).");
+  tm.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file scaling_cluster.cpp
+/// \brief Distributed-memory demo on the thread-backed cluster: decompose a
+/// galaxy over P SPMD ranks, exchange particles (flat vs 3-D torus
+/// all-to-all), exchange gravity LETs, and compute forces — the real
+/// communication structure of §3.4 at laptop scale, with traffic counters.
+///
+///   ./scaling_cluster [ranks]
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "comm/comm.hpp"
+#include "comm/torus.hpp"
+#include "fdps/domain.hpp"
+#include "fdps/let.hpp"
+#include "galaxy/galaxy.hpp"
+#include "gravity/gravity.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const int P = argc > 1 ? std::atoi(argv[1]) : 8;
+  int px = 0, py = 0, pz = 0;
+  asura::comm::factor3(P, px, py, pz);
+  std::printf("cluster: %d ranks as a %dx%dx%d torus\n", P, px, py, pz);
+
+  auto model = asura::galaxy::GalaxyModel::milkyWayMini();
+  asura::galaxy::IcCounts counts;
+  counts.n_dm = 20000;
+  counts.n_star = 12000;
+  counts.n_gas = 8000;
+  counts.seed = 11;
+
+  asura::comm::Cluster cluster(P);
+  std::mutex print_mutex;
+
+  for (const bool use_torus : {false, true}) {
+    cluster.resetTraffic();
+    const double t0 = asura::util::wtime();
+    cluster.run([&](asura::comm::Comm& comm) {
+      // Per-domain IC generation (paper §4.2: ICs generated per domain).
+      auto mine = asura::galaxy::generateGalaxySlice(model, counts, comm.rank(), P);
+      asura::comm::TorusTopology torus(comm, px, py, pz);
+      asura::comm::TorusTopology* router = use_torus ? &torus : nullptr;
+
+      asura::fdps::DomainDecomposer dd(px, py, pz);
+      asura::util::Pcg32 rng(1, static_cast<std::uint64_t>(comm.rank()));
+      dd.decompose(comm, mine, rng);
+      mine = dd.exchange(comm, mine, router);
+
+      asura::fdps::SourceTree tree;
+      tree.build(asura::fdps::makeSourceEntries(mine));
+      const auto let = asura::fdps::exchangeGravityLet(comm, dd, tree, 0.5, router);
+
+      asura::gravity::GravityParams gp;
+      gp.theta = 0.5;
+      const auto stats = asura::gravity::accumulateTreeGravity(mine, let, gp);
+
+      if (comm.rank() == 0) {
+        std::lock_guard<std::mutex> lk(print_mutex);
+        std::printf("  rank 0: %zu local particles, %zu LET imports, %.2e gravity "
+                    "interactions\n", mine.size(), let.size(),
+                    static_cast<double>(stats.ep_interactions + stats.sp_interactions));
+      }
+    });
+    const auto traffic = cluster.traffic();
+    std::printf("%s alltoallv: %.2f s, %llu messages, %.1f MB on the wire\n",
+                use_torus ? "3-D torus" : "flat     ",
+                asura::util::wtime() - t0,
+                static_cast<unsigned long long>(traffic.messages),
+                static_cast<double>(traffic.bytes) / 1e6);
+  }
+
+  std::printf("\nthe 3-D algorithm trades message count (O(p^{1/3}) partners per "
+              "phase) for forwarding volume — the win grows with p (§3.4).\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "comm/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace asura::comm {
+
+Cluster::Cluster(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Cluster: nranks must be positive");
+  boxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::run(const std::function<void(Comm&)>& body) {
+  auto world_ranks = std::make_shared<std::vector<int>>();
+  world_ranks->resize(static_cast<std::size_t>(nranks_));
+  for (int i = 0; i < nranks_; ++i) (*world_ranks)[static_cast<std::size_t>(i)] = i;
+
+  const int comm_id = next_comm_id_.fetch_add(1);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(this, comm_id, r, nranks_, world_ranks);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+Cluster::Traffic Cluster::traffic() const {
+  return {msg_count_.load(), byte_count_.load()};
+}
+
+void Cluster::resetTraffic() {
+  msg_count_ = 0;
+  byte_count_ = 0;
+}
+
+Cluster::BarrierState& Cluster::barrierState(int comm_id) {
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  auto& slot = barriers_[comm_id];
+  if (!slot) slot = std::make_unique<BarrierState>();
+  return *slot;
+}
+
+void Cluster::deposit(int world_dst, const MailKey& key, Buffer data) {
+  msg_count_.fetch_add(1, std::memory_order_relaxed);
+  byte_count_.fetch_add(data.size(), std::memory_order_relaxed);
+  Mailbox& mb = *boxes_.at(static_cast<std::size_t>(world_dst));
+  {
+    std::lock_guard<std::mutex> lk(mb.m);
+    mb.q[key].push_back(std::move(data));
+  }
+  mb.cv.notify_all();
+}
+
+Buffer Cluster::collect(int world_me, const MailKey& key) {
+  Mailbox& mb = *boxes_.at(static_cast<std::size_t>(world_me));
+  std::unique_lock<std::mutex> lk(mb.m);
+  mb.cv.wait(lk, [&] {
+    auto it = mb.q.find(key);
+    return it != mb.q.end() && !it->second.empty();
+  });
+  auto it = mb.q.find(key);
+  Buffer out = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) mb.q.erase(it);
+  return out;
+}
+
+void Comm::sendBytes(int dst, int tag, const void* data, std::size_t nbytes) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("send: bad destination rank");
+  Buffer buf(nbytes);
+  if (nbytes > 0) std::memcpy(buf.data(), data, nbytes);
+  cluster_->deposit(worldRank(dst), {comm_id_, rank_, tag}, std::move(buf));
+}
+
+Buffer Comm::recvBytes(int src, int tag) {
+  if (src < 0 || src >= size_) throw std::out_of_range("recv: bad source rank");
+  return cluster_->collect(worldRank(rank_), {comm_id_, src, tag});
+}
+
+void Comm::barrier() {
+  auto& st = cluster_->barrierState(comm_id_);
+  std::unique_lock<std::mutex> lk(st.m);
+  const std::uint64_t gen = st.generation;
+  if (++st.count == size_) {
+    st.count = 0;
+    ++st.generation;
+    st.cv.notify_all();
+  } else {
+    st.cv.wait(lk, [&] { return st.generation != gen; });
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  // Gather (color, key) pairs on rank 0, compute groups, scatter results.
+  const int tag = nextCollectiveTag();
+  struct Entry {
+    int color, key, old_rank;
+  };
+
+  std::vector<Entry> all;
+  if (rank_ == 0) {
+    all.resize(static_cast<std::size_t>(size_));
+    all[0] = {color, key, 0};
+    for (int r = 1; r < size_; ++r) all[static_cast<std::size_t>(r)] = recv<Entry>(r, tag).at(0);
+  } else {
+    send(0, tag, std::vector<Entry>{{color, key, rank_}});
+  }
+
+  // Rank 0 assigns: for each distinct color a fresh comm id and a rank order
+  // sorted by (key, old_rank); then sends each rank its (id, rank, size) and
+  // the comm-rank -> world-rank table.
+  struct Assignment {
+    int comm_id, new_rank, new_size;
+  };
+
+  Assignment mine{};
+  std::vector<int> my_world_ranks;
+
+  if (rank_ == 0) {
+    std::vector<int> colors;
+    for (const auto& e : all) colors.push_back(e.color);
+    std::sort(colors.begin(), colors.end());
+    colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+    for (int c : colors) {
+      std::vector<Entry> group;
+      for (const auto& e : all) {
+        if (e.color == c) group.push_back(e);
+      }
+      std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+        return std::pair(a.key, a.old_rank) < std::pair(b.key, b.old_rank);
+      });
+      const int new_id = cluster_->next_comm_id_.fetch_add(1);
+      std::vector<int> wr;
+      wr.reserve(group.size());
+      for (const auto& g : group) wr.push_back(worldRank(g.old_rank));
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const Assignment a{new_id, static_cast<int>(i), static_cast<int>(group.size())};
+        if (group[i].old_rank == 0) {
+          mine = a;
+          my_world_ranks = wr;
+        } else {
+          send(group[i].old_rank, tag + 1, std::vector<Assignment>{a});
+          send(group[i].old_rank, tag + 1, wr);
+        }
+      }
+    }
+  } else {
+    mine = recv<Assignment>(0, tag + 1).at(0);
+    my_world_ranks = recv<int>(0, tag + 1);
+  }
+
+  return Comm(cluster_, mine.comm_id, mine.new_rank, mine.new_size,
+              std::make_shared<const std::vector<int>>(std::move(my_world_ranks)));
+}
+
+}  // namespace asura::comm

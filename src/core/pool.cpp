@@ -1,0 +1,89 @@
+#include "core/pool.hpp"
+
+namespace asura::core {
+
+PoolNodeScheduler::PoolNodeScheduler(std::shared_ptr<SurrogateBackend> backend,
+                                     int n_pool_nodes, long return_interval)
+    : backend_(std::move(backend)),
+      n_pool_(n_pool_nodes),
+      return_interval_(return_interval) {
+  workers_.reserve(static_cast<std::size_t>(n_pool_));
+  for (int i = 0; i < n_pool_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+PoolNodeScheduler::~PoolNodeScheduler() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void PoolNodeScheduler::submit(long step, std::vector<Particle> region,
+                               const Vec3d& sn_pos, double energy, double horizon) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(Job{next_job_id_++, step + return_interval_, std::move(region),
+                         sn_pos, energy, horizon});
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<std::vector<Particle>> PoolNodeScheduler::collectDue(long step) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  // Wait until no job due at or before `step` is still queued or running.
+  done_cv_.wait(lk, [&] {
+    for (const auto& j : queue_) {
+      if (j.release_step <= step) return false;
+    }
+    return in_flight_releases_.empty() || *in_flight_releases_.begin() > step;
+  });
+
+  std::vector<std::vector<Particle>> out;
+  auto it = results_.begin();
+  while (it != results_.end() && it->first <= step) {
+    out.push_back(std::move(it->second));
+    it = results_.erase(it);
+  }
+  return out;
+}
+
+int PoolNodeScheduler::pendingJobs() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return static_cast<int>(queue_.size()) + in_flight_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsCompleted() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return completed_;
+}
+
+void PoolNodeScheduler::workerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      in_flight_releases_.insert(job.release_step);
+    }
+    auto prediction =
+        backend_->predict(std::move(job.region), job.sn_pos, job.energy, job.horizon);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      results_.emplace(job.release_step, std::move(prediction));
+      in_flight_releases_.erase(in_flight_releases_.find(job.release_step));
+      --in_flight_;
+      ++completed_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace asura::core

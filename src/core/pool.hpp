@@ -1,0 +1,84 @@
+#pragma once
+/// \file pool.hpp
+/// \brief Pool-node scheduler (paper §3.1-§3.2, Fig. 3).
+///
+/// "We split the MPI communicator into two: one is for normal N-body/SPH
+/// integration, and the other is for predicting the particle distribution
+/// using deep learning. [...] The integration of the galaxy using the main
+/// nodes and the prediction of the SN region with DL using the pool nodes
+/// fully overlap."
+///
+/// Here the pool nodes are worker threads (`n_pool_nodes` of them) running
+/// the surrogate backend asynchronously while the caller (the main-node
+/// integration loop) keeps stepping. A job submitted at global step s is
+/// delivered back at step s + return_interval (the paper's 50-step cadence:
+/// dt_global = 2,000 yr x 50 steps = 0.1 Myr = the prediction horizon).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/surrogate.hpp"
+
+namespace asura::core {
+
+class PoolNodeScheduler {
+ public:
+  PoolNodeScheduler(std::shared_ptr<SurrogateBackend> backend, int n_pool_nodes,
+                    long return_interval);
+  ~PoolNodeScheduler();
+
+  PoolNodeScheduler(const PoolNodeScheduler&) = delete;
+  PoolNodeScheduler& operator=(const PoolNodeScheduler&) = delete;
+
+  /// Enqueue an SN region captured at `step`; the prediction becomes
+  /// available to collectDue(step + return_interval).
+  void submit(long step, std::vector<Particle> region, const Vec3d& sn_pos,
+              double energy, double horizon);
+
+  /// All predictions scheduled for delivery at or before `step`. Blocks
+  /// until those workers finish (the paper's synchronization point: results
+  /// come back after exactly 50 global steps).
+  [[nodiscard]] std::vector<std::vector<Particle>> collectDue(long step);
+
+  [[nodiscard]] int pendingJobs() const;
+  [[nodiscard]] std::uint64_t jobsCompleted() const;
+  [[nodiscard]] long returnInterval() const { return return_interval_; }
+  [[nodiscard]] int poolNodes() const { return n_pool_; }
+
+ private:
+  struct Job {
+    std::uint64_t id;
+    long release_step;
+    std::vector<Particle> region;
+    Vec3d sn_pos;
+    double energy;
+    double horizon;
+  };
+
+  void workerLoop();
+
+  std::shared_ptr<SurrogateBackend> backend_;
+  int n_pool_;
+  long return_interval_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes workers
+  std::condition_variable done_cv_;   ///< wakes collectDue
+  std::deque<Job> queue_;
+  std::multimap<long, std::vector<Particle>> results_;  ///< release step -> prediction
+  std::multiset<long> in_flight_releases_;  ///< release steps of running jobs
+  int in_flight_ = 0;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t completed_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace asura::core

@@ -1,0 +1,130 @@
+#pragma once
+/// \file simulation.hpp
+/// \brief The headline contribution: N-body/SPH integration with the
+/// SN-bypassing surrogate and a fixed global timestep (paper §3.2).
+///
+/// One global step (categories bracket the paper's Fig. 6/7 legend):
+///  1. Identify_SNe           — stars exploding in (t, t + dt_global]
+///  2. Send_SNe               — ship (60 pc)^3 regions to pool nodes
+///  3. Integration            — first kick + drift (no feedback energy)
+///     1st Make_Local_Tree / 1st Exchange_LET / 1st Calc_Force — gravity
+///     1st Calc_Kernel_Size_and_Density — SPH h/rho solve
+///     2nd Calc_Force (pre-kick hydro) + Final_kick
+///  4. Receive_SNe            — predictions due this step replace particles
+///                              by id
+///  5. Exchange_Particle      — domain decomposition (serial: bookkeeping)
+///  6. Star_Formation + Feedback_and_Cooling
+///  7. 2nd Calc_Kernel_Size / 2nd Make_Tree / 2nd Exchange_LET /
+///     2nd Calc_Force         — recompute hydro after energy changes
+///  8. next step (fixed dt_global; the conventional baseline instead obeys
+///     the global CFL minimum and injects SN energy directly).
+
+#include <memory>
+#include <vector>
+
+#include "core/pool.hpp"
+#include "core/surrogate.hpp"
+#include "fdps/particle.hpp"
+#include "gravity/gravity.hpp"
+#include "sph/sph.hpp"
+#include "stellar/stellar.hpp"
+#include "util/histogram.hpp"
+#include "util/timer.hpp"
+
+namespace asura::core {
+
+struct SimulationConfig {
+  // --- timestep scheme ---
+  double dt_global = 0.002;       ///< 2,000 yr (paper §3.2)
+  bool use_surrogate = true;      ///< false: conventional direct feedback
+  bool adaptive_timestep = false; ///< true: global CFL minimum (baseline)
+  double cfl_dt_min = 1e-6;       ///< safety floor [Myr]
+
+  // --- surrogate / pool nodes ---
+  double sn_box_size = 60.0;      ///< pc, region side length
+  double surrogate_horizon = 0.1; ///< Myr (= 50 x 2,000 yr)
+  long return_interval = 50;      ///< steps until predictions come back
+  int n_pool_nodes = 4;           ///< worker threads (paper: <50 nodes)
+
+  // --- physics ---
+  gravity::GravityParams gravity{};
+  sph::SphParams sph{};
+  stellar::StarFormationParams star_formation{};
+  stellar::CoolingParams cooling{};
+  bool enable_star_formation = true;
+  bool enable_cooling = true;
+  double feedback_radius = 2.0;  ///< pc, conventional direct-injection radius
+
+  std::uint64_t seed = 12345;
+};
+
+struct StepStats {
+  int sn_identified = 0;
+  int regions_sent = 0;
+  int regions_received = 0;
+  int particles_replaced = 0;
+  int stars_formed = 0;
+  double dt_used = 0.0;
+  gravity::GravityStats gravity_stats{};
+  sph::DensityStats density_stats{};
+  sph::ForceStats force_stats{};
+};
+
+struct EnergyReport {
+  double kinetic = 0.0;
+  double thermal = 0.0;
+  double potential = 0.0;
+  [[nodiscard]] double total() const { return kinetic + thermal + 0.5 * potential; }
+};
+
+class Simulation {
+ public:
+  Simulation(std::vector<fdps::Particle> particles, SimulationConfig cfg,
+             std::shared_ptr<SurrogateBackend> backend = nullptr);
+
+  /// Advance one global step; returns per-step statistics.
+  StepStats step();
+
+  [[nodiscard]] double time() const { return t_; }
+  [[nodiscard]] long stepCount() const { return step_; }
+  [[nodiscard]] const std::vector<fdps::Particle>& particles() const { return parts_; }
+  [[nodiscard]] std::vector<fdps::Particle>& particles() { return parts_; }
+  [[nodiscard]] const util::TimerRegistry& timers() const { return timers_; }
+  [[nodiscard]] const std::vector<double>& sfrHistory() const { return sfr_history_; }
+  [[nodiscard]] PoolNodeScheduler* pool() { return pool_ ? pool_.get() : nullptr; }
+
+  /// Energy/momentum bookkeeping (potential from the last force pass).
+  [[nodiscard]] EnergyReport energyReport() const;
+  [[nodiscard]] util::Vec3d totalMomentum() const;
+  [[nodiscard]] util::Vec3d totalAngularMomentum() const;
+
+  /// Density-temperature phase PDFs (paper §3.3 validation metrics).
+  [[nodiscard]] util::Histogram densityPdf(int bins = 40) const;
+  [[nodiscard]] util::Histogram temperaturePdf(int bins = 40) const;
+
+  /// Gas column-density map projected along an axis (0=x,1=y,2=z), for the
+  /// Fig. 5 face-on / edge-on panels. Returns row-major ny*nx values
+  /// [Msun/pc^2].
+  [[nodiscard]] std::vector<double> columnDensityMap(int axis, int nx, int ny,
+                                                     double half_extent) const;
+
+ private:
+  void computeForces(StepStats& stats, bool first_pass);
+  void captureAndSendRegions(const std::vector<stellar::SnEvent>& events,
+                             StepStats& stats);
+  void receiveAndReplace(StepStats& stats);
+  void directFeedback(const std::vector<stellar::SnEvent>& events);
+
+  std::vector<fdps::Particle> parts_;
+  SimulationConfig cfg_;
+  std::shared_ptr<SurrogateBackend> backend_;
+  std::unique_ptr<PoolNodeScheduler> pool_;
+  util::TimerRegistry timers_;
+  util::Pcg32 rng_;
+  stellar::KroupaImf imf_;
+  double t_ = 0.0;
+  long step_ = 0;
+  std::vector<double> sfr_history_;  ///< Msun/Myr per step
+};
+
+}  // namespace asura::core

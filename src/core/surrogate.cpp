@@ -1,0 +1,28 @@
+#include "core/surrogate.hpp"
+
+#include "sph/kernels.hpp"
+
+namespace asura::core {
+
+std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region,
+                                                    const Vec3d& sn_pos, double energy,
+                                                    double horizon) {
+  (void)energy;
+  (void)horizon;
+  if (region.empty()) return region;
+  // Fig. 3 pipeline: particles -> 5-field voxel cube -> 8 log channels ->
+  // U-Net -> decode -> Gibbs-sample particles (ids & masses preserved).
+  const sph::Kernel kernel{};
+  const auto grid =
+      voxel::depositParticles(region, sn_pos, box_size_, vparams_, kernel);
+  const auto channels = voxel::encodeGrid(grid, vparams_);
+  // Residual parametrization: the network predicts the *change* of the
+  // 8-channel state over the horizon, so an untrained net is the identity
+  // and training concentrates capacity on the blast wave itself.
+  auto predicted = net_.forward(channels);
+  for (std::size_t i = 0; i < predicted.numel(); ++i) predicted[i] += channels[i];
+  const auto out_grid = voxel::decodeGrid(predicted, box_size_, grid.origin, vparams_);
+  return voxel::gridToParticles(out_grid, region, vparams_, rng_);
+}
+
+}  // namespace asura::core

@@ -1,0 +1,90 @@
+#pragma once
+/// \file surrogate.hpp
+/// \brief Surrogate backends for supernova-shell prediction (paper §3.3).
+///
+/// A backend answers one question: given the gas particles in the (60 pc)^3
+/// box around an exploding star, what is their state `horizon` Myr later?
+/// Three implementations:
+///  * SedovOracleBackend — the physics oracle (training target / validation
+///    reference; also the "closest synthetic equivalent" for the authors'
+///    trained TensorFlow model, see DESIGN.md).
+///  * UNetSurrogateBackend — the paper's pipeline: particles -> voxels ->
+///    8 log channels -> 3-D U-Net inference in C++ -> Gibbs-sampled
+///    particles, with particle count and mass conserved.
+///  * NullBackend — no bypass (for ablations: feedback must then be handled
+///    by the conventional direct-injection path).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fdps/particle.hpp"
+#include "ml/unet.hpp"
+#include "sn/sedov.hpp"
+#include "util/rng.hpp"
+#include "voxel/voxel.hpp"
+
+namespace asura::core {
+
+using fdps::Particle;
+using util::Vec3d;
+
+class SurrogateBackend {
+ public:
+  virtual ~SurrogateBackend() = default;
+
+  /// Predict the post-SN state of `region`. Must return exactly one particle
+  /// per input particle (same ids, same masses — mass conservation contract).
+  [[nodiscard]] virtual std::vector<Particle> predict(std::vector<Particle> region,
+                                                      const Vec3d& sn_pos, double energy,
+                                                      double horizon) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Physics oracle: Sedov-Taylor / remnant evolution applied to particles.
+class SedovOracleBackend final : public SurrogateBackend {
+ public:
+  [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
+                                              const Vec3d& sn_pos, double energy,
+                                              double horizon) override {
+    sn::applySedovOracle(region, sn_pos, energy, horizon);
+    return region;
+  }
+  [[nodiscard]] std::string name() const override { return "sedov-oracle"; }
+};
+
+/// The deep-learning pipeline of Fig. 3.
+class UNetSurrogateBackend final : public SurrogateBackend {
+ public:
+  UNetSurrogateBackend(ml::UNetConfig net_cfg, voxel::VoxelParams voxel_params,
+                       double box_size = 60.0, std::uint64_t seed = 2024)
+      : net_(net_cfg), vparams_(voxel_params), box_size_(box_size), rng_(seed) {}
+
+  /// Load trained weights (.annx) produced by the training example.
+  void loadWeights(const std::string& path) { net_.load(path); }
+  [[nodiscard]] ml::UNet3D& network() { return net_; }
+
+  [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
+                                              const Vec3d& sn_pos, double energy,
+                                              double horizon) override;
+
+  [[nodiscard]] std::string name() const override { return "unet"; }
+
+ private:
+  ml::UNet3D net_;
+  voxel::VoxelParams vparams_;
+  double box_size_;
+  util::Pcg32 rng_;
+};
+
+/// No bypass at all (conventional ablation).
+class NullBackend final : public SurrogateBackend {
+ public:
+  [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region, const Vec3d&,
+                                              double, double) override {
+    return region;
+  }
+  [[nodiscard]] std::string name() const override { return "null"; }
+};
+
+}  // namespace asura::core

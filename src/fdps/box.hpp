@@ -1,0 +1,79 @@
+#pragma once
+/// \file box.hpp
+/// \brief Axis-aligned boxes (orthotopes) for domains and tree cells.
+
+#include <algorithm>
+#include <limits>
+
+#include "util/vec3.hpp"
+
+namespace asura::fdps {
+
+using util::Vec3d;
+
+struct Box {
+  Vec3d lo{std::numeric_limits<double>::max(), std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::max()};
+  Vec3d hi{std::numeric_limits<double>::lowest(), std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::lowest()};
+
+  [[nodiscard]] bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void extend(const Vec3d& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  void extend(const Box& b) {
+    extend(b.lo);
+    extend(b.hi);
+  }
+
+  [[nodiscard]] Vec3d center() const { return 0.5 * (lo + hi); }
+  [[nodiscard]] Vec3d extent() const { return hi - lo; }
+
+  [[nodiscard]] bool contains(const Vec3d& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y && p.z >= lo.z &&
+           p.z < hi.z;
+  }
+
+  /// Minimum distance from point to box (0 if inside).
+  [[nodiscard]] double distance(const Vec3d& p) const {
+    const double dx = std::max({lo.x - p.x, 0.0, p.x - hi.x});
+    const double dy = std::max({lo.y - p.y, 0.0, p.y - hi.y});
+    const double dz = std::max({lo.z - p.z, 0.0, p.z - hi.z});
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+
+  /// Minimum distance between two boxes (0 if overlapping).
+  [[nodiscard]] double distance(const Box& b) const {
+    const double dx = std::max({lo.x - b.hi.x, 0.0, b.lo.x - hi.x});
+    const double dy = std::max({lo.y - b.hi.y, 0.0, b.lo.y - hi.y});
+    const double dz = std::max({lo.z - b.hi.z, 0.0, b.lo.z - hi.z});
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+  }
+
+  /// Grow by a margin on all sides.
+  [[nodiscard]] Box inflated(double margin) const {
+    Box b = *this;
+    const Vec3d m{margin, margin, margin};
+    b.lo -= m;
+    b.hi += m;
+    return b;
+  }
+
+  /// Smallest cube covering this box (tree roots are cubic so Morton octants
+  /// stay isotropic).
+  [[nodiscard]] Box boundingCube() const {
+    const Vec3d c = center();
+    const Vec3d e = extent();
+    const double half = 0.5 * std::max({e.x, e.y, e.z}) * (1.0 + 1e-12) + 1e-300;
+    return {{c.x - half, c.y - half, c.z - half}, {c.x + half, c.y + half, c.z + half}};
+  }
+};
+
+}  // namespace asura::fdps

@@ -1,0 +1,197 @@
+#include "fdps/domain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asura::fdps {
+
+DomainDecomposer::DomainDecomposer(int px, int py, int pz) : px_(px), py_(py), pz_(pz) {
+  if (px <= 0 || py <= 0 || pz <= 0) {
+    throw std::invalid_argument("DomainDecomposer: grid dims must be positive");
+  }
+}
+
+void DomainDecomposer::decompose(comm::Comm& comm, const std::vector<Particle>& local,
+                                 util::Pcg32& rng, int sample_cap) {
+  if (comm.size() != ranks()) {
+    throw std::invalid_argument("DomainDecomposer: comm size != px*py*pz");
+  }
+  // Uniform sampling keeps the sample budget O(p * cap) independent of N.
+  std::vector<Vec3d> samples;
+  const auto cap = static_cast<std::size_t>(sample_cap);
+  if (local.size() <= cap) {
+    samples.reserve(local.size());
+    for (const auto& p : local) samples.push_back(p.pos);
+  } else {
+    samples.reserve(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      samples.push_back(local[rng.below(static_cast<std::uint32_t>(local.size()))].pos);
+    }
+  }
+
+  // Flatten for transport.
+  std::vector<double> flat;
+  flat.reserve(samples.size() * 3);
+  for (const auto& s : samples) {
+    flat.push_back(s.x);
+    flat.push_back(s.y);
+    flat.push_back(s.z);
+  }
+  const auto gathered = comm.allgatherv(flat);
+
+  if (comm.rank() == 0) {
+    std::vector<Vec3d> all;
+    for (const auto& part : gathered) {
+      for (std::size_t i = 0; i + 2 < part.size(); i += 3) {
+        all.push_back({part[i], part[i + 1], part[i + 2]});
+      }
+    }
+    computeCuts(std::move(all));
+  }
+  xcuts_ = comm.bcast(xcuts_, 0);
+  ycuts_ = comm.bcast(ycuts_, 0);
+  zcuts_ = comm.bcast(zcuts_, 0);
+}
+
+void DomainDecomposer::decomposeSerial(const std::vector<Particle>& all) {
+  std::vector<Vec3d> samples;
+  samples.reserve(all.size());
+  for (const auto& p : all) samples.push_back(p.pos);
+  computeCuts(std::move(samples));
+}
+
+void DomainDecomposer::computeCuts(std::vector<Vec3d> samples) {
+  if (samples.empty()) throw std::invalid_argument("DomainDecomposer: no samples");
+  const std::size_t n = samples.size();
+
+  xcuts_.assign(static_cast<std::size_t>(px_) + 1, 0.0);
+  ycuts_.assign(static_cast<std::size_t>(px_) * (py_ + 1), 0.0);
+  zcuts_.assign(static_cast<std::size_t>(px_) * py_ * (pz_ + 1), 0.0);
+
+  std::sort(samples.begin(), samples.end(),
+            [](const Vec3d& a, const Vec3d& b) { return a.x < b.x; });
+  xcuts_.front() = -kHuge;
+  xcuts_.back() = kHuge;
+  for (int ix = 1; ix < px_; ++ix) {
+    xcuts_[static_cast<std::size_t>(ix)] =
+        samples[n * static_cast<std::size_t>(ix) / static_cast<std::size_t>(px_)].x;
+  }
+
+  for (int ix = 0; ix < px_; ++ix) {
+    const std::size_t slab_lo = n * static_cast<std::size_t>(ix) / static_cast<std::size_t>(px_);
+    const std::size_t slab_hi =
+        n * static_cast<std::size_t>(ix + 1) / static_cast<std::size_t>(px_);
+    std::sort(samples.begin() + static_cast<std::ptrdiff_t>(slab_lo),
+              samples.begin() + static_cast<std::ptrdiff_t>(slab_hi),
+              [](const Vec3d& a, const Vec3d& b) { return a.y < b.y; });
+    const std::size_t m = slab_hi - slab_lo;
+    double* yrow = &ycuts_[static_cast<std::size_t>(ix) * (py_ + 1)];
+    yrow[0] = -kHuge;
+    yrow[py_] = kHuge;
+    for (int iy = 1; iy < py_; ++iy) {
+      yrow[iy] = m == 0 ? yrow[iy - 1]
+                        : samples[slab_lo + m * static_cast<std::size_t>(iy) /
+                                                static_cast<std::size_t>(py_)]
+                              .y;
+    }
+
+    for (int iy = 0; iy < py_; ++iy) {
+      const std::size_t col_lo = slab_lo + (m == 0 ? 0
+                                                   : m * static_cast<std::size_t>(iy) /
+                                                         static_cast<std::size_t>(py_));
+      const std::size_t col_hi = slab_lo + (m == 0 ? 0
+                                                   : m * static_cast<std::size_t>(iy + 1) /
+                                                         static_cast<std::size_t>(py_));
+      std::sort(samples.begin() + static_cast<std::ptrdiff_t>(col_lo),
+                samples.begin() + static_cast<std::ptrdiff_t>(col_hi),
+                [](const Vec3d& a, const Vec3d& b) { return a.z < b.z; });
+      const std::size_t k = col_hi - col_lo;
+      double* zrow =
+          &zcuts_[(static_cast<std::size_t>(ix) * py_ + static_cast<std::size_t>(iy)) *
+                  (pz_ + 1)];
+      zrow[0] = -kHuge;
+      zrow[pz_] = kHuge;
+      for (int iz = 1; iz < pz_; ++iz) {
+        zrow[iz] = k == 0 ? zrow[iz - 1]
+                          : samples[col_lo + k * static_cast<std::size_t>(iz) /
+                                                 static_cast<std::size_t>(pz_)]
+                                .z;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Index of the half-open interval [cuts[i], cuts[i+1]) containing v.
+int findInterval(const double* cuts, int n, double v) {
+  int lo = 0, hi = n;  // v is always inside [-kHuge, kHuge)
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    if (v < cuts[mid]) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int DomainDecomposer::ownerOf(const Vec3d& pos) const {
+  if (!ready()) throw std::logic_error("DomainDecomposer: decompose() not called");
+  const int ix = findInterval(xcuts_.data(), px_, pos.x);
+  const int iy = findInterval(&ycuts_[static_cast<std::size_t>(ix) * (py_ + 1)], py_, pos.y);
+  const int iz = findInterval(
+      &zcuts_[(static_cast<std::size_t>(ix) * py_ + static_cast<std::size_t>(iy)) *
+              (pz_ + 1)],
+      pz_, pos.z);
+  return comm::TorusTopology::rankOf(ix, iy, iz, px_, py_);
+}
+
+Box DomainDecomposer::domainOf(int rank) const {
+  if (!ready()) throw std::logic_error("DomainDecomposer: decompose() not called");
+  const int ix = rank % px_;
+  const int iy = (rank / px_) % py_;
+  const int iz = rank / (px_ * py_);
+  const double* yrow = &ycuts_[static_cast<std::size_t>(ix) * (py_ + 1)];
+  const double* zrow =
+      &zcuts_[(static_cast<std::size_t>(ix) * py_ + static_cast<std::size_t>(iy)) *
+              (pz_ + 1)];
+  Box b;
+  b.lo = {xcuts_[static_cast<std::size_t>(ix)], yrow[iy], zrow[iz]};
+  b.hi = {xcuts_[static_cast<std::size_t>(ix) + 1], yrow[iy + 1], zrow[iz + 1]};
+  return b;
+}
+
+Box DomainDecomposer::domainOfClamped(int rank, const Box& frame) const {
+  Box b = domainOf(rank);
+  b.lo.x = std::max(b.lo.x, frame.lo.x);
+  b.lo.y = std::max(b.lo.y, frame.lo.y);
+  b.lo.z = std::max(b.lo.z, frame.lo.z);
+  b.hi.x = std::min(b.hi.x, frame.hi.x);
+  b.hi.y = std::min(b.hi.y, frame.hi.y);
+  b.hi.z = std::min(b.hi.z, frame.hi.z);
+  return b;
+}
+
+std::vector<Particle> DomainDecomposer::exchange(comm::Comm& comm,
+                                                 std::vector<Particle> parts,
+                                                 comm::TorusTopology* torus) const {
+  const auto p = static_cast<std::size_t>(comm.size());
+  std::vector<std::vector<Particle>> outgoing(p);
+  for (const auto& part : parts) {
+    outgoing[static_cast<std::size_t>(ownerOf(part.pos))].push_back(part);
+  }
+  const auto incoming =
+      torus ? torus->alltoallv3d(outgoing) : comm.alltoallv(outgoing);
+  std::vector<Particle> result;
+  std::size_t total = 0;
+  for (const auto& v : incoming) total += v.size();
+  result.reserve(total);
+  for (const auto& v : incoming) result.insert(result.end(), v.begin(), v.end());
+  return result;
+}
+
+}  // namespace asura::fdps

@@ -1,0 +1,69 @@
+#pragma once
+/// \file domain.hpp
+/// \brief Sample-based multisection domain decomposition + particle exchange.
+///
+/// FDPS decomposes space into a px x py x pz grid of rectilinear domains by
+/// recursive multisection on sampled particle positions: equal-count cuts
+/// along x, then per-slab cuts along y, then per-column cuts along z. With a
+/// centrally-concentrated galaxy this produces the long, thin central
+/// domains seen in the paper's Figure 4 — which is exactly why particle
+/// exchange grows expensive at scale (§5.2.1).
+///
+/// The exchange itself is an all-to-all with O(p^{1/3}) structure when a
+/// TorusTopology is supplied (§3.4), or a flat alltoallv otherwise.
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/torus.hpp"
+#include "fdps/box.hpp"
+#include "fdps/particle.hpp"
+#include "util/rng.hpp"
+
+namespace asura::fdps {
+
+class DomainDecomposer {
+ public:
+  DomainDecomposer(int px, int py, int pz);
+
+  /// Collective over `comm`: sample local positions, compute the cut
+  /// hierarchy on rank 0 with equal-count multisection, broadcast.
+  void decompose(comm::Comm& comm, const std::vector<Particle>& local,
+                 util::Pcg32& rng, int sample_cap = 4096);
+
+  /// Serial convenience (single "rank"): decompose from the full set.
+  void decomposeSerial(const std::vector<Particle>& all);
+
+  [[nodiscard]] int ranks() const { return px_ * py_ * pz_; }
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int pz() const { return pz_; }
+
+  /// Rank owning a position (rank = ix + px*(iy + py*iz)).
+  [[nodiscard]] int ownerOf(const Vec3d& pos) const;
+
+  /// Domain box of a rank. Outer faces sit at +-kHuge; `clamped` trims them
+  /// to `frame` for display (Fig. 4).
+  [[nodiscard]] Box domainOf(int rank) const;
+  [[nodiscard]] Box domainOfClamped(int rank, const Box& frame) const;
+
+  [[nodiscard]] bool ready() const { return !xcuts_.empty(); }
+
+  static constexpr double kHuge = 1.0e30;
+
+  /// Ship every particle to its owner; returns the new local population.
+  /// Uses the 3-phase torus alltoallv when `torus` is non-null.
+  [[nodiscard]] std::vector<Particle> exchange(comm::Comm& comm,
+                                               std::vector<Particle> parts,
+                                               comm::TorusTopology* torus = nullptr) const;
+
+ private:
+  void computeCuts(std::vector<Vec3d> samples);
+
+  int px_, py_, pz_;
+  std::vector<double> xcuts_;  ///< px+1 values
+  std::vector<double> ycuts_;  ///< px rows of (py+1)
+  std::vector<double> zcuts_;  ///< px*py rows of (pz+1)
+};
+
+}  // namespace asura::fdps

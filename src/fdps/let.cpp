@@ -1,0 +1,61 @@
+#include "fdps/let.hpp"
+
+#include <algorithm>
+
+namespace asura::fdps {
+
+std::vector<SourceEntry> exchangeGravityLet(comm::Comm& comm, const DomainDecomposer& dd,
+                                            const SourceTree& local_tree, double theta,
+                                            comm::TorusTopology* torus) {
+  const int p = comm.size();
+  std::vector<std::vector<SourceEntry>> outgoing(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank() || local_tree.empty()) continue;
+    local_tree.exportLet(dd.domainOf(r), theta, outgoing[static_cast<std::size_t>(r)]);
+  }
+  const auto incoming = torus ? torus->alltoallv3d(outgoing) : comm.alltoallv(outgoing);
+  std::vector<SourceEntry> result;
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;  // own contribution excluded
+    const auto& v = incoming[static_cast<std::size_t>(r)];
+    result.insert(result.end(), v.begin(), v.end());
+  }
+  // Imported entries must not alias local particle indices.
+  for (auto& e : result) {
+    if (!e.isMultipole()) e.idx = SourceEntry::kMultipole;
+  }
+  return result;
+}
+
+std::vector<Particle> exchangeHydroGhosts(comm::Comm& comm, const DomainDecomposer& dd,
+                                          const std::vector<Particle>& particles,
+                                          double local_max_h,
+                                          comm::TorusTopology* torus) {
+  const int p = comm.size();
+  // Every rank needs to know how far the others' gather kernels reach.
+  const std::vector<double> max_h = comm.allgather(local_max_h);
+
+  std::vector<std::vector<Particle>> outgoing(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    const Box remote = dd.domainOf(r);
+    const double remote_reach = max_h[static_cast<std::size_t>(r)];
+    for (const auto& part : particles) {
+      if (!part.isGas()) continue;
+      const double d = remote.distance(part.pos);
+      if (d <= std::max(part.h, remote_reach)) {
+        outgoing[static_cast<std::size_t>(r)].push_back(part);
+      }
+    }
+  }
+  const auto incoming = torus ? torus->alltoallv3d(outgoing) : comm.alltoallv(outgoing);
+  std::vector<Particle> result;
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    const auto& v = incoming[static_cast<std::size_t>(r)];
+    result.insert(result.end(), v.begin(), v.end());
+  }
+  return result;
+}
+
+}  // namespace asura::fdps

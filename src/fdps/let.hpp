@@ -1,0 +1,41 @@
+#pragma once
+/// \file let.hpp
+/// \brief Local Essential Tree (LET) exchange (paper §3.4, §5.2.3).
+///
+/// Gravity reaches the whole system, so every rank needs a coarse view of
+/// every other rank's particles: for each remote domain box the local tree
+/// is walked with the multipole acceptance criterion, emitting monopoles for
+/// far subtrees and raw particles near the domain boundary. The resulting
+/// per-destination export lists are exchanged with an all-to-all — "the most
+/// time-consuming part with the full system of Fugaku".
+///
+/// SPH needs ghost neighbours instead: gas particles near a remote domain
+/// are exported if their own support radius reaches the remote box (scatter)
+/// or if they lie within the remote rank's maximum gather radius.
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/torus.hpp"
+#include "fdps/domain.hpp"
+#include "fdps/tree.hpp"
+
+namespace asura::fdps {
+
+/// Exchange gravity LETs. `local_tree` must be built over this rank's
+/// sources. Returns the imported entries (remote monopoles + boundary
+/// particles) to be merged with local sources before force evaluation.
+std::vector<SourceEntry> exchangeGravityLet(comm::Comm& comm,
+                                            const DomainDecomposer& dd,
+                                            const SourceTree& local_tree, double theta,
+                                            comm::TorusTopology* torus = nullptr);
+
+/// Exchange SPH ghost particles. `gas` is the local gas population,
+/// `local_max_h` this rank's maximum gather support radius. Returns ghost
+/// particles from remote ranks whose kernels may interact with ours.
+std::vector<Particle> exchangeHydroGhosts(comm::Comm& comm, const DomainDecomposer& dd,
+                                          const std::vector<Particle>& particles,
+                                          double local_max_h,
+                                          comm::TorusTopology* torus = nullptr);
+
+}  // namespace asura::fdps

@@ -1,0 +1,235 @@
+#include "fdps/tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "fdps/morton.hpp"
+
+namespace asura::fdps {
+
+namespace {
+
+Box tightBox(std::span<const SourceEntry> entries) {
+  Box b;
+  for (const auto& e : entries) b.extend(e.pos);
+  return b;
+}
+
+}  // namespace
+
+const Box& SourceTree::rootBox() const {
+  if (nodes_.empty()) throw std::logic_error("SourceTree: empty tree has no root");
+  return nodes_[0].bbox;
+}
+
+void SourceTree::build(std::vector<SourceEntry> entries, int leaf_size) {
+  entries_ = std::move(entries);
+  nodes_.clear();
+  keys_.clear();
+  child_links_.clear();
+  if (entries_.empty()) return;
+
+  const Box cube = tightBox(entries_).boundingCube();
+  keys_.resize(entries_.size());
+
+  std::vector<std::uint32_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<std::uint64_t> raw_keys(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    raw_keys[i] = mortonKey(entries_[i].pos, cube);
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return raw_keys[a] < raw_keys[b] || (raw_keys[a] == raw_keys[b] && a < b);
+  });
+
+  std::vector<SourceEntry> sorted(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted[i] = entries_[order[i]];
+    keys_[i] = raw_keys[order[i]];
+  }
+  entries_ = std::move(sorted);
+
+  nodes_.reserve(2 * entries_.size() / std::max(leaf_size, 1) + 64);
+  buildNode(0, static_cast<std::uint32_t>(entries_.size()), 0, std::max(leaf_size, 1));
+}
+
+std::int32_t SourceTree::buildNode(std::uint32_t first, std::uint32_t count, int level,
+                                   int leaf_size) {
+  const auto me = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Moments and tight bbox.
+  {
+    Node n;
+    n.first = first;
+    n.count = count;
+    double m = 0.0, weps = 0.0, maxh = 0.0;
+    Vec3d com{};
+    for (std::uint32_t i = first; i < first + count; ++i) {
+      const SourceEntry& e = entries_[i];
+      n.bbox.extend(e.pos);
+      m += e.mass;
+      com += e.mass * e.pos;
+      weps += e.mass * e.eps;
+      maxh = std::max(maxh, e.h);
+    }
+    n.mass = m;
+    n.com = m > 0.0 ? com / m : n.bbox.center();
+    n.eps_mean = m > 0.0 ? weps / m : 1.0;
+    n.max_h = maxh;
+    nodes_[static_cast<std::size_t>(me)] = n;
+  }
+
+  if (static_cast<int>(count) <= leaf_size || level >= kMortonMaxLevel) {
+    return me;  // leaf
+  }
+
+  // Children: the key range is sorted, so each octant occupies a contiguous
+  // subrange; find boundaries by scanning the octant digit at this level.
+  std::uint32_t child_first[9];
+  child_first[0] = first;
+  std::uint32_t pos = first;
+  for (unsigned oct = 0; oct < 8; ++oct) {
+    while (pos < first + count && octantAtLevel(keys_[pos], level) == oct) ++pos;
+    child_first[oct + 1] = pos;
+  }
+
+  std::vector<std::int32_t> children;
+  for (unsigned oct = 0; oct < 8; ++oct) {
+    const std::uint32_t cf = child_first[oct];
+    const std::uint32_t cc = child_first[oct + 1] - cf;
+    if (cc == 0) continue;
+    children.push_back(buildNode(cf, cc, level + 1, leaf_size));
+  }
+
+  // Direct children are not contiguous in nodes_ (grandchildren interleave in
+  // the depth-first build), so first_child indexes into the side table.
+  nodes_[static_cast<std::size_t>(me)].first_child =
+      children.empty() ? -1 : static_cast<std::int32_t>(child_links_.size());
+  nodes_[static_cast<std::size_t>(me)].n_children =
+      static_cast<std::int32_t>(children.size());
+  for (std::int32_t c : children) child_links_.push_back(c);
+  return me;
+}
+
+void SourceTree::gatherInteraction(const Box& target, double theta,
+                                   std::vector<std::uint32_t>& ep,
+                                   std::vector<Monopole>& sp) const {
+  if (nodes_.empty()) return;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    const double d = target.distance(n.com);
+    if (d > 0.0 && n.size() < theta * d) {
+      sp.push_back({n.com, n.mass, n.eps_mean});
+      continue;
+    }
+    if (n.isLeaf()) {
+      for (std::uint32_t i = n.first; i < n.first + n.count; ++i) ep.push_back(i);
+      continue;
+    }
+    for (std::int32_t c = 0; c < n.n_children; ++c) {
+      stack.push_back(child_links_[static_cast<std::size_t>(n.first_child + c)]);
+    }
+  }
+}
+
+void SourceTree::gatherNeighbors(const Box& target, double gather_radius,
+                                 std::vector<std::uint32_t>& out) const {
+  if (nodes_.empty()) return;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    const double reach = std::max(gather_radius, n.max_h);
+    if (target.distance(n.bbox) > reach) continue;
+    if (n.isLeaf()) {
+      for (std::uint32_t i = n.first; i < n.first + n.count; ++i) {
+        const SourceEntry& e = entries_[i];
+        if (target.distance(e.pos) <= std::max(gather_radius, e.h)) out.push_back(i);
+      }
+      continue;
+    }
+    for (std::int32_t c = 0; c < n.n_children; ++c) {
+      stack.push_back(child_links_[static_cast<std::size_t>(n.first_child + c)]);
+    }
+  }
+}
+
+void SourceTree::exportLet(const Box& remote_box, double theta,
+                           std::vector<SourceEntry>& out) const {
+  if (nodes_.empty()) return;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    const double d = remote_box.distance(n.com);
+    if (d > 0.0 && n.size() < theta * d) {
+      SourceEntry e;
+      e.pos = n.com;
+      e.mass = n.mass;
+      e.eps = n.eps_mean;
+      e.h = 0.0;
+      e.idx = SourceEntry::kMultipole;
+      out.push_back(e);
+      continue;
+    }
+    if (n.isLeaf()) {
+      for (std::uint32_t i = n.first; i < n.first + n.count; ++i) out.push_back(entries_[i]);
+      continue;
+    }
+    for (std::int32_t c = 0; c < n.n_children; ++c) {
+      stack.push_back(child_links_[static_cast<std::size_t>(n.first_child + c)]);
+    }
+  }
+}
+
+std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
+                                          int group_size, bool gas_only) {
+  std::vector<TargetGroup> groups;
+  std::vector<std::uint32_t> sel;
+  Box all;
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    if (gas_only && !particles[i].isGas()) continue;
+    sel.push_back(i);
+    all.extend(particles[i].pos);
+  }
+  if (sel.empty()) return groups;
+  const Box cube = all.boundingCube();
+  std::sort(sel.begin(), sel.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return mortonKey(particles[a].pos, cube) < mortonKey(particles[b].pos, cube);
+  });
+  const auto gs = static_cast<std::size_t>(std::max(group_size, 1));
+  for (std::size_t off = 0; off < sel.size(); off += gs) {
+    TargetGroup g;
+    const std::size_t end = std::min(off + gs, sel.size());
+    for (std::size_t i = off; i < end; ++i) {
+      g.indices.push_back(sel[i]);
+      g.bbox.extend(particles[sel[i]].pos);
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<SourceEntry> makeSourceEntries(std::span<const Particle> particles,
+                                           bool gas_only) {
+  std::vector<SourceEntry> out;
+  out.reserve(particles.size());
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    const Particle& p = particles[i];
+    if (gas_only && !p.isGas()) continue;
+    SourceEntry e;
+    e.pos = p.pos;
+    e.mass = p.mass;
+    e.eps = p.eps;
+    e.h = p.isGas() ? p.h : 0.0;
+    e.idx = i;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace asura::fdps

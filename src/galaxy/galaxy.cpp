@@ -1,0 +1,221 @@
+#include "galaxy/galaxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sph/eos.hpp"
+#include "sph/kernels.hpp"
+
+namespace asura::galaxy {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Invert a monotonically increasing tabulated function by binary search +
+/// linear interpolation.
+double invertMonotone(const std::vector<double>& xs, const std::vector<double>& ys,
+                      double y) {
+  if (y <= ys.front()) return xs.front();
+  if (y >= ys.back()) return xs.back();
+  std::size_t lo = 0, hi = ys.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    (ys[mid] <= y ? lo : hi) = mid;
+  }
+  const double f = (y - ys[lo]) / (ys[hi] - ys[lo]);
+  return xs[lo] + f * (xs[hi] - xs[lo]);
+}
+
+}  // namespace
+
+GalaxyModel GalaxyModel::scaled(double f) const {
+  GalaxyModel m = *this;
+  const double lf = std::cbrt(f);
+  m.m_halo *= f;
+  m.m_disk_star *= f;
+  m.m_disk_gas *= f;
+  m.r_scale *= lf;
+  m.r_trunc *= lf;
+  m.r_d *= lf;
+  m.z_d *= lf;
+  m.r_g *= lf;
+  return m;
+}
+
+GalaxyModel GalaxyModel::milkyWay() { return {}; }
+GalaxyModel GalaxyModel::milkyWaySmall() { return GalaxyModel{}.scaled(0.1); }
+GalaxyModel GalaxyModel::milkyWayMini() { return GalaxyModel{}.scaled(0.01); }
+
+double GalaxyModel::haloDensity(double r) const {
+  // NFW: rho0 / ((r/rs)(1+r/rs)^2), normalized to m_halo inside r_trunc.
+  const double c = r_trunc / r_scale;
+  const double norm = std::log(1.0 + c) - c / (1.0 + c);
+  const double rho0 = m_halo / (4.0 * kPi * r_scale * r_scale * r_scale * norm);
+  const double x = std::max(r, 1.0) / r_scale;
+  return rho0 / (x * (1.0 + x) * (1.0 + x));
+}
+
+double GalaxyModel::haloMassEnclosed(double r) const {
+  const double c = r_trunc / r_scale;
+  const double norm = std::log(1.0 + c) - c / (1.0 + c);
+  const double x = std::min(r, r_trunc) / r_scale;
+  const double m = std::log(1.0 + x) - x / (1.0 + x);
+  return m_halo * m / norm;
+}
+
+double GalaxyModel::massEnclosed(double r) const {
+  // Disks: cumulative exponential-disk mass 1 - (1+R/Rd) e^{-R/Rd}
+  // (spherical approximation — fine for rotation-curve purposes).
+  auto disk = [](double mass, double rd, double rr) {
+    const double x = rr / rd;
+    return mass * (1.0 - (1.0 + x) * std::exp(-x));
+  };
+  return haloMassEnclosed(r) + disk(m_disk_star, r_d, r) + disk(m_disk_gas, r_g, r);
+}
+
+double GalaxyModel::vCirc(double r) const {
+  return std::sqrt(units::G * massEnclosed(r) / std::max(r, 1.0));
+}
+
+double GalaxyModel::haloSigma(double r) const {
+  // Jeans integral on a log grid from r to the truncation radius.
+  const int n = 64;
+  const double r0 = std::max(r, 1.0);
+  double integral = 0.0;
+  const double lr0 = std::log(r0), lr1 = std::log(r_trunc * 2.0);
+  for (int i = 0; i < n; ++i) {
+    const double s = std::exp(lr0 + (i + 0.5) / n * (lr1 - lr0));
+    const double ds = s * (lr1 - lr0) / n;
+    integral += haloDensity(s) * units::G * massEnclosed(s) / (s * s) * ds;
+  }
+  const double rho = haloDensity(r0);
+  return rho > 0.0 ? std::sqrt(integral / rho) : 0.0;
+}
+
+std::vector<Particle> generateGalaxy(const GalaxyModel& model, const IcCounts& counts) {
+  std::vector<Particle> parts;
+  parts.reserve(counts.n_dm + counts.n_star + counts.n_gas);
+  util::Pcg32 rng(counts.seed, 0xCA1A);
+
+  // --- tabulate the halo mass profile for inverse-CDF sampling ---
+  const int ntab = 256;
+  std::vector<double> r_tab(ntab), m_tab(ntab);
+  for (int i = 0; i < ntab; ++i) {
+    const double lr = std::log(model.r_scale * 1e-3) +
+                      (std::log(model.r_trunc) - std::log(model.r_scale * 1e-3)) * i /
+                          (ntab - 1.0);
+    r_tab[static_cast<std::size_t>(i)] = std::exp(lr);
+    m_tab[static_cast<std::size_t>(i)] = model.haloMassEnclosed(std::exp(lr));
+  }
+
+  std::uint64_t next_id = 1;
+
+  // --- dark matter halo ---
+  const double m_dm = counts.n_dm > 0 ? model.m_halo / static_cast<double>(counts.n_dm) : 0.0;
+  // Softening ~ mean central interparticle separation.
+  const double eps_dm =
+      counts.n_dm > 0
+          ? 0.02 * model.r_scale / std::cbrt(static_cast<double>(counts.n_dm) / 1e4)
+          : 1.0;
+  for (std::size_t i = 0; i < counts.n_dm; ++i) {
+    Particle p;
+    p.id = next_id++;
+    p.type = Species::DarkMatter;
+    p.mass = m_dm;
+    p.eps = std::max(eps_dm, 10.0);
+    const double r = invertMonotone(r_tab, m_tab, rng.uniform() * model.m_halo);
+    p.pos = r * rng.isotropic();
+    const double sigma = model.haloSigma(r);
+    p.vel = {rng.normal(0.0, sigma), rng.normal(0.0, sigma), rng.normal(0.0, sigma)};
+    parts.push_back(p);
+  }
+
+  // --- shared disk radial sampler: M(<R) ∝ 1 - (1+x)e^{-x} ---
+  auto sampleDiskRadius = [&rng](double rd) {
+    const double u = rng.uniform(1e-6, 1.0 - 1e-9);
+    // Newton iteration on f(x) = 1 - (1+x)e^{-x} - u.
+    double x = 1.0;
+    for (int it = 0; it < 40; ++it) {
+      const double f = 1.0 - (1.0 + x) * std::exp(-x) - u;
+      const double fp = x * std::exp(-x);
+      const double step = fp > 1e-12 ? f / fp : (f > 0 ? -0.1 : 0.1);
+      x = std::clamp(x - step, 1e-4, 30.0);
+      if (std::abs(f) < 1e-12) break;
+    }
+    return x * rd;
+  };
+
+  // --- stellar disk ---
+  const double m_star =
+      counts.n_star > 0 ? model.m_disk_star / static_cast<double>(counts.n_star) : 0.0;
+  for (std::size_t i = 0; i < counts.n_star; ++i) {
+    Particle p;
+    p.id = next_id++;
+    p.type = Species::Star;
+    p.mass = m_star;
+    p.eps = std::max(0.05 * model.z_d, 1.0);
+    const double R = sampleDiskRadius(model.r_d);
+    const double phi = rng.uniform(0.0, 2.0 * kPi);
+    // sech^2 vertical profile: z = z_d * atanh(2u - 1).
+    const double z = model.z_d * std::atanh(std::clamp(2.0 * rng.uniform() - 1.0, -0.999999, 0.999999));
+    p.pos = {R * std::cos(phi), R * std::sin(phi), z};
+    const double vc = model.vCirc(R);
+    const double sigma_r = 0.15 * vc * std::exp(-R / (2.0 * model.r_d)) + 5.0;
+    const double vr = rng.normal(0.0, sigma_r);
+    const double vphi = vc + rng.normal(0.0, sigma_r / 1.5);
+    const double vz = rng.normal(0.0, sigma_r / 2.0);
+    p.vel = {vr * std::cos(phi) - vphi * std::sin(phi),
+             vr * std::sin(phi) + vphi * std::cos(phi), vz};
+    p.t_form = -1e4;  // pre-existing population, no SN bookkeeping
+    parts.push_back(p);
+  }
+
+  // --- gas disk (approximate vertical hydrostatic equilibrium) ---
+  const double m_gas =
+      counts.n_gas > 0 ? model.m_disk_gas / static_cast<double>(counts.n_gas) : 0.0;
+  const double u_gas = units::temperature_to_u(model.temp_gas, units::mu_ionized);
+  const double cs = sph::soundSpeed(u_gas);
+  for (std::size_t i = 0; i < counts.n_gas; ++i) {
+    Particle p;
+    p.id = next_id++;
+    p.type = Species::Gas;
+    p.mass = m_gas;
+    p.eps = std::max(0.05 * model.z_d, 1.0);
+    p.u = u_gas;
+    const double R = sampleDiskRadius(model.r_g);
+    const double phi = rng.uniform(0.0, 2.0 * kPi);
+    // Self-gravitating isothermal slab: h = cs^2 / (pi G Sigma(R)).
+    const double sigma_R = model.m_disk_gas /
+                           (2.0 * kPi * model.r_g * model.r_g) *
+                           std::exp(-R / model.r_g);
+    const double h_eq = std::clamp(cs * cs / (kPi * units::G * std::max(sigma_R, 1e-12)),
+                                   0.02 * model.z_d, 3.0 * model.z_d);
+    const double z = h_eq * std::atanh(std::clamp(2.0 * rng.uniform() - 1.0, -0.999999, 0.999999));
+    p.pos = {R * std::cos(phi), R * std::sin(phi), z};
+    // Rotation with pressure-gradient correction: vphi^2 = vc^2 - cs^2 R/Rg.
+    const double vc = model.vCirc(R);
+    const double vphi = std::sqrt(std::max(0.0, vc * vc - cs * cs * R / model.r_g));
+    p.vel = {-vphi * std::sin(phi), vphi * std::cos(phi), 0.0};
+    // Initial SPH support radius guess from the local midplane density.
+    const double rho_mid = std::max(sigma_R / (2.0 * std::max(h_eq, 1.0)), 1e-10);
+    p.h = sph::supportFromDensity(p.mass, rho_mid, 64);
+    p.rho = rho_mid;
+    parts.push_back(p);
+  }
+
+  return parts;
+}
+
+std::vector<Particle> generateGalaxySlice(const GalaxyModel& model, const IcCounts& counts,
+                                          int rank, int nranks) {
+  const auto all = generateGalaxy(model, counts);
+  std::vector<Particle> mine;
+  mine.reserve(all.size() / static_cast<std::size_t>(nranks) + 1);
+  for (std::size_t i = static_cast<std::size_t>(rank); i < all.size();
+       i += static_cast<std::size_t>(nranks)) {
+    mine.push_back(all[i]);
+  }
+  return mine;
+}
+
+}  // namespace asura::galaxy

@@ -1,0 +1,89 @@
+#pragma once
+/// \file galaxy.hpp
+/// \brief AGAMA-substitute initial conditions for Model MW (paper §4.2).
+///
+/// "The model is composed of three components: DM, stars, and gas. The DM
+/// distributes in a broken power-law [NFW-like: rho ∝ r^-1 in the centre].
+/// Inside this DM halo, stars and gas distribute a rotating disk. [...] The
+/// total mass of each component is 1.1e12 Msun for DM, 5.4e10 Msun for
+/// stars, and 1.2e10 Msun for gas."  Plus the 1/10 (MW-small) and 1/100
+/// (MW-mini) variants of Table 2.
+///
+/// Sampling: halo radii by inverse-CDF of the enclosed-mass profile with
+/// isotropic Jeans velocity dispersions; exponential disks with sech^2 /
+/// Gaussian vertical structure; the gas disk in approximate vertical
+/// hydrostatic equilibrium (the "potential method" of Wang et al. 2010 is
+/// approximated by the self-gravitating slab scale height) with rotation
+/// corrected for the pressure gradient.
+
+#include <vector>
+
+#include "fdps/particle.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace asura::galaxy {
+
+using fdps::Particle;
+using fdps::Species;
+using util::Vec3d;
+
+/// Physical description of the galaxy model (masses Msun, lengths pc).
+struct GalaxyModel {
+  // Dark matter halo (NFW, truncated).
+  double m_halo = 1.1e12;
+  double r_scale = 20000.0;   ///< NFW scale radius
+  double r_trunc = 200000.0;  ///< halo extent (paper §1: 200,000 pc)
+  // Stellar disk.
+  double m_disk_star = 5.4e10;
+  double r_d = 2600.0;  ///< radial scale length (McMillan 2017-ish)
+  double z_d = 300.0;   ///< vertical scale height
+  // Gas disk.
+  double m_disk_gas = 1.2e10;
+  double r_g = 5200.0;
+  double temp_gas = 1.0e4;  ///< [K] initial gas temperature
+
+  [[nodiscard]] double totalMass() const { return m_halo + m_disk_star + m_disk_gas; }
+
+  /// Scale every mass by f (and lengths by f^{1/3}, preserving density).
+  [[nodiscard]] GalaxyModel scaled(double f) const;
+
+  static GalaxyModel milkyWay();       ///< Model MW
+  static GalaxyModel milkyWaySmall();  ///< 1/10 mass
+  static GalaxyModel milkyWayMini();   ///< 1/100 mass
+
+  // --- analytic profiles ---
+  [[nodiscard]] double haloDensity(double r) const;
+  [[nodiscard]] double haloMassEnclosed(double r) const;
+  /// Total mass inside radius r (halo exact + disks via their cumulative
+  /// radial mass, adequate for rotation curves).
+  [[nodiscard]] double massEnclosed(double r) const;
+  /// Circular velocity sqrt(G M(<r)/r) [pc/Myr].
+  [[nodiscard]] double vCirc(double r) const;
+  /// Radial velocity dispersion of the isotropic halo from the Jeans
+  /// integral sigma^2(r) = (1/rho) \int_r^inf rho G M / s^2 ds.
+  [[nodiscard]] double haloSigma(double r) const;
+};
+
+/// Particle counts for one realization.
+struct IcCounts {
+  std::size_t n_dm = 0;
+  std::size_t n_star = 0;
+  std::size_t n_gas = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a full galaxy realization (all species). Particle masses are
+/// component mass / count; softenings scale with the interparticle spacing.
+/// Deterministic in (model, counts.seed) — ranks can generate the same
+/// realization independently and keep only their domain's slice, which is
+/// how the paper generates ICs "for each domain".
+std::vector<Particle> generateGalaxy(const GalaxyModel& model, const IcCounts& counts);
+
+/// Convenience: the slice of the deterministic realization belonging to
+/// `rank` out of `nranks` (round-robin by index; cheap stand-in for the
+/// per-domain parallel AGAMA).
+std::vector<Particle> generateGalaxySlice(const GalaxyModel& model, const IcCounts& counts,
+                                          int rank, int nranks);
+
+}  // namespace asura::galaxy

@@ -1,0 +1,182 @@
+#include "gravity/gravity.hpp"
+
+#include <cmath>
+
+#include "util/vec3.hpp"
+
+namespace asura::gravity {
+
+using util::Vec3f;
+
+void accumulateDirect(std::span<Particle> targets, std::span<const SourceEntry> sources,
+                      double G) {
+  for (auto& t : targets) {
+    Vec3d acc{};
+    double pot = 0.0;
+    for (const auto& s : sources) {
+      const Vec3d dr = t.pos - s.pos;
+      const double r2 = dr.norm2();
+      if (r2 == 0.0) continue;  // self / coincident
+      const double soft2 = t.eps * t.eps + s.eps * s.eps;
+      const double rinv = 1.0 / std::sqrt(r2 + soft2);
+      const double rinv3 = rinv * rinv * rinv;
+      acc -= (G * s.mass * rinv3) * dr;
+      pot -= G * s.mass * rinv;
+    }
+    t.acc += acc;
+    t.pot += pot;
+  }
+}
+
+void evalGroupScalarF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
+                        std::span<const SourceEntry> ep, std::span<const Monopole> sp,
+                        double G, Vec3d* acc_out, double* pot_out) {
+  for (int i = 0; i < n_targets; ++i) {
+    const Vec3d pi = target_pos[i];
+    const double eps2_i = target_eps[i] * target_eps[i];
+    Vec3d acc{};
+    double pot = 0.0;
+    for (const auto& s : ep) {
+      const Vec3d dr = pi - s.pos;
+      const double r2 = dr.norm2();
+      if (r2 == 0.0) continue;
+      const double rinv = 1.0 / std::sqrt(r2 + eps2_i + s.eps * s.eps);
+      const double mr3 = s.mass * rinv * rinv * rinv;
+      acc -= mr3 * dr;
+      pot -= s.mass * rinv;
+    }
+    for (const auto& s : sp) {
+      const Vec3d dr = pi - s.com;
+      const double r2 = dr.norm2();
+      if (r2 == 0.0) continue;
+      const double rinv = 1.0 / std::sqrt(r2 + eps2_i + s.eps * s.eps);
+      const double mr3 = s.mass * rinv * rinv * rinv;
+      acc -= mr3 * dr;
+      pot -= s.mass * rinv;
+    }
+    acc_out[i] += G * acc;
+    pot_out[i] += G * pot;
+  }
+}
+
+void evalGroupMixedF32(const Vec3d* target_pos, const double* target_eps, int n_targets,
+                       std::span<const SourceEntry> ep, std::span<const Monopole> sp,
+                       double G, Vec3d* acc_out, double* pot_out) {
+  if (n_targets == 0) return;
+  // Representative point of the receiving group (double precision).
+  Vec3d centre{};
+  for (int i = 0; i < n_targets; ++i) centre += target_pos[i];
+  centre /= static_cast<double>(n_targets);
+
+  // Stage sources relative to the centre, in single precision.
+  thread_local std::vector<Vec3f> spos;
+  thread_local std::vector<float> smass, seps2;
+  spos.clear();
+  smass.clear();
+  seps2.clear();
+  spos.reserve(ep.size() + sp.size());
+  for (const auto& s : ep) {
+    spos.emplace_back(Vec3d(s.pos - centre));
+    smass.push_back(static_cast<float>(s.mass));
+    seps2.push_back(static_cast<float>(s.eps * s.eps));
+  }
+  for (const auto& s : sp) {
+    spos.emplace_back(Vec3d(s.com - centre));
+    smass.push_back(static_cast<float>(s.mass));
+    seps2.push_back(static_cast<float>(s.eps * s.eps));
+  }
+
+  const std::size_t ns = spos.size();
+  for (int i = 0; i < n_targets; ++i) {
+    const Vec3f pi{Vec3d(target_pos[i] - centre)};
+    const float eps2_i = static_cast<float>(target_eps[i] * target_eps[i]);
+    // Accumulate in float (the hot loop), reduce into double at the end.
+    float ax = 0.0f, ay = 0.0f, az = 0.0f, phi = 0.0f;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float dx = pi.x - spos[j].x;
+      const float dy = pi.y - spos[j].y;
+      const float dz = pi.z - spos[j].z;
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 == 0.0f) continue;
+      const float rinv = 1.0f / std::sqrt(r2 + eps2_i + seps2[j]);
+      const float rinv3 = rinv * rinv * rinv;
+      const float mr3 = smass[j] * rinv3;
+      ax -= mr3 * dx;
+      ay -= mr3 * dy;
+      az -= mr3 * dz;
+      phi -= smass[j] * rinv;
+    }
+    acc_out[i] += G * Vec3d{static_cast<double>(ax), static_cast<double>(ay),
+                            static_cast<double>(az)};
+    pot_out[i] += G * static_cast<double>(phi);
+  }
+}
+
+GravityStats accumulateTreeGravity(std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params) {
+  GravityStats stats;
+  if (particles.empty()) return stats;
+
+  // Source set: all local particles + the imported LET.
+  std::vector<SourceEntry> sources = fdps::makeSourceEntries(particles);
+  sources.insert(sources.end(), let_entries.begin(), let_entries.end());
+  fdps::SourceTree tree;
+  tree.build(std::move(sources), params.leaf_size);
+
+  const auto groups = fdps::makeTargetGroups(particles, params.group_size);
+
+  std::uint64_t ep_total = 0, sp_total = 0;
+
+#pragma omp parallel reduction(+ : ep_total, sp_total)
+  {
+    std::vector<std::uint32_t> ep_idx;
+    std::vector<Monopole> sp;
+    std::vector<SourceEntry> ep;
+    std::vector<Vec3d> tpos, tacc;
+    std::vector<double> teps, tpot;
+
+#pragma omp for schedule(dynamic)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& grp = groups[g];
+      ep_idx.clear();
+      sp.clear();
+      tree.gatherInteraction(grp.bbox, params.theta, ep_idx, sp);
+      ep.clear();
+      ep.reserve(ep_idx.size());
+      for (auto k : ep_idx) ep.push_back(tree.entries()[k]);
+
+      const int nt = static_cast<int>(grp.indices.size());
+      tpos.resize(static_cast<std::size_t>(nt));
+      teps.resize(static_cast<std::size_t>(nt));
+      tacc.assign(static_cast<std::size_t>(nt), Vec3d{});
+      tpot.assign(static_cast<std::size_t>(nt), 0.0);
+      for (int i = 0; i < nt; ++i) {
+        tpos[static_cast<std::size_t>(i)] = particles[grp.indices[static_cast<std::size_t>(i)]].pos;
+        teps[static_cast<std::size_t>(i)] = particles[grp.indices[static_cast<std::size_t>(i)]].eps;
+      }
+
+      if (params.kernel == GravityParams::Kernel::ScalarF64) {
+        evalGroupScalarF64(tpos.data(), teps.data(), nt, ep, sp, params.G, tacc.data(),
+                           tpot.data());
+      } else {
+        evalGroupMixedF32(tpos.data(), teps.data(), nt, ep, sp, params.G, tacc.data(),
+                          tpot.data());
+      }
+
+      for (int i = 0; i < nt; ++i) {
+        auto& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+        p.acc += tacc[static_cast<std::size_t>(i)];
+        p.pot += tpot[static_cast<std::size_t>(i)];
+      }
+      ep_total += static_cast<std::uint64_t>(nt) * ep.size();
+      sp_total += static_cast<std::uint64_t>(nt) * sp.size();
+    }
+  }
+
+  stats.ep_interactions = ep_total;
+  stats.sp_interactions = sp_total;
+  return stats;
+}
+
+}  // namespace asura::gravity

@@ -1,0 +1,253 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asura::ml {
+
+double mseLoss(const Tensor& pred, const Tensor& target, Tensor* grad) {
+  if (!pred.sameShape(target)) throw std::invalid_argument("mseLoss: shape mismatch");
+  const std::size_t n = pred.numel();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pred[i]) - target[i];
+    s += d * d;
+  }
+  if (grad) {
+    *grad = Tensor(pred.shape());
+    for (std::size_t i = 0; i < n; ++i) {
+      (*grad)[i] = 2.0f * (pred[i] - target[i]) / static_cast<float>(n);
+    }
+  }
+  return s / static_cast<double>(n);
+}
+
+Conv3d::Conv3d(int cin, int cout, int k, util::Pcg32& rng)
+    : w({cout, cin, k, k, k}),
+      b({cout}),
+      gw({cout, cin, k, k, k}),
+      gb({cout}),
+      cin_(cin),
+      cout_(cout),
+      k_(k),
+      pad_(k / 2) {
+  if (k % 2 == 0) throw std::invalid_argument("Conv3d: kernel size must be odd");
+  // He initialization (ReLU nets).
+  const double std_dev = std::sqrt(2.0 / (static_cast<double>(cin) * k * k * k));
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, std_dev));
+  }
+}
+
+Tensor Conv3d::forward(const Tensor& x) {
+  if (x.shape().size() != 4 || x.dim(0) != cin_) {
+    throw std::invalid_argument("Conv3d: bad input shape");
+  }
+  x_cache_ = x;
+  const int D = x.dim(1), H = x.dim(2), W = x.dim(3);
+  Tensor y({cout_, D, H, W});
+
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < cout_; ++o) {
+    for (int d = 0; d < D; ++d) {
+      for (int h = 0; h < H; ++h) {
+        for (int wv = 0; wv < W; ++wv) {
+          float acc = b[static_cast<std::size_t>(o)];
+          for (int i = 0; i < cin_; ++i) {
+            for (int a = 0; a < k_; ++a) {
+              const int dd = d + a - pad_;
+              if (dd < 0 || dd >= D) continue;
+              for (int bb = 0; bb < k_; ++bb) {
+                const int hh = h + bb - pad_;
+                if (hh < 0 || hh >= H) continue;
+                for (int c = 0; c < k_; ++c) {
+                  const int ww = wv + c - pad_;
+                  if (ww < 0 || ww >= W) continue;
+                  acc += w.at5(o, i, a, bb, c) * x.at(i, dd, hh, ww);
+                }
+              }
+            }
+          }
+          y.at(o, d, h, wv) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv3d::backward(const Tensor& gy) {
+  const Tensor& x = x_cache_;
+  const int D = x.dim(1), H = x.dim(2), W = x.dim(3);
+  Tensor gx(x.shape());
+
+  // Bias and weight gradients.
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < cout_; ++o) {
+    double gbo = 0.0;
+    for (int d = 0; d < D; ++d) {
+      for (int h = 0; h < H; ++h) {
+        for (int wv = 0; wv < W; ++wv) gbo += gy.at(o, d, h, wv);
+      }
+    }
+    gb[static_cast<std::size_t>(o)] += static_cast<float>(gbo);
+
+    for (int i = 0; i < cin_; ++i) {
+      for (int a = 0; a < k_; ++a) {
+        for (int bb = 0; bb < k_; ++bb) {
+          for (int c = 0; c < k_; ++c) {
+            double acc = 0.0;
+            for (int d = 0; d < D; ++d) {
+              const int dd = d + a - pad_;
+              if (dd < 0 || dd >= D) continue;
+              for (int h = 0; h < H; ++h) {
+                const int hh = h + bb - pad_;
+                if (hh < 0 || hh >= H) continue;
+                for (int wv = 0; wv < W; ++wv) {
+                  const int ww = wv + c - pad_;
+                  if (ww < 0 || ww >= W) continue;
+                  acc += gy.at(o, d, h, wv) * x.at(i, dd, hh, ww);
+                }
+              }
+            }
+            gw.at5(o, i, a, bb, c) += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  }
+
+  // Input gradient (full correlation with flipped kernel).
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < cin_; ++i) {
+    for (int dd = 0; dd < D; ++dd) {
+      for (int hh = 0; hh < H; ++hh) {
+        for (int ww = 0; ww < W; ++ww) {
+          float acc = 0.0f;
+          for (int o = 0; o < cout_; ++o) {
+            for (int a = 0; a < k_; ++a) {
+              const int d = dd - a + pad_;
+              if (d < 0 || d >= D) continue;
+              for (int bb = 0; bb < k_; ++bb) {
+                const int h = hh - bb + pad_;
+                if (h < 0 || h >= H) continue;
+                for (int c = 0; c < k_; ++c) {
+                  const int wv = ww - c + pad_;
+                  if (wv < 0 || wv >= W) continue;
+                  acc += gy.at(o, d, h, wv) * w.at5(o, i, a, bb, c);
+                }
+              }
+            }
+          }
+          gx.at(i, dd, hh, ww) = acc;
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor Relu::forward(const Tensor& x) {
+  x_cache_ = x;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::max(0.0f, x[i]);
+  return y;
+}
+
+Tensor Relu::backward(const Tensor& gy) const {
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.numel(); ++i) {
+    gx[i] = x_cache_[i] > 0.0f ? gy[i] : 0.0f;
+  }
+  return gx;
+}
+
+Tensor MaxPool3d::forward(const Tensor& x) {
+  const int C = x.dim(0), D = x.dim(1), H = x.dim(2), W = x.dim(3);
+  if (D % 2 || H % 2 || W % 2) throw std::invalid_argument("MaxPool3d: odd dims");
+  in_shape_ = x.shape();
+  Tensor y({C, D / 2, H / 2, W / 2});
+  argmax_.assign(y.numel(), 0);
+  std::size_t oi = 0;
+  for (int c = 0; c < C; ++c) {
+    for (int d = 0; d < D; d += 2) {
+      for (int h = 0; h < H; h += 2) {
+        for (int wv = 0; wv < W; wv += 2) {
+          float best = x.at(c, d, h, wv);
+          std::size_t best_idx = x.flat4(c, d, h, wv);
+          for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+              for (int e = 0; e < 2; ++e) {
+                const float v = x.at(c, d + a, h + b, wv + e);
+                if (v > best) {
+                  best = v;
+                  best_idx = x.flat4(c, d + a, h + b, wv + e);
+                }
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = static_cast<std::uint32_t>(best_idx);
+          ++oi;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool3d::backward(const Tensor& gy) const {
+  Tensor gx(in_shape_);
+  for (std::size_t i = 0; i < gy.numel(); ++i) gx[argmax_[i]] += gy[i];
+  return gx;
+}
+
+Tensor Upsample3d::forward(const Tensor& x) {
+  const int C = x.dim(0), D = x.dim(1), H = x.dim(2), W = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y({C, 2 * D, 2 * H, 2 * W});
+  for (int c = 0; c < C; ++c) {
+    for (int d = 0; d < 2 * D; ++d) {
+      for (int h = 0; h < 2 * H; ++h) {
+        for (int wv = 0; wv < 2 * W; ++wv) {
+          y.at(c, d, h, wv) = x.at(c, d / 2, h / 2, wv / 2);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Upsample3d::backward(const Tensor& gy) const {
+  Tensor gx(in_shape_);
+  const int C = gy.dim(0), D = gy.dim(1), H = gy.dim(2), W = gy.dim(3);
+  for (int c = 0; c < C; ++c) {
+    for (int d = 0; d < D; ++d) {
+      for (int h = 0; h < H; ++h) {
+        for (int wv = 0; wv < W; ++wv) {
+          gx.at(c, d / 2, h / 2, wv / 2) += gy.at(c, d, h, wv);
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+Tensor concatChannels(const Tensor& a, const Tensor& b) {
+  if (a.dim(1) != b.dim(1) || a.dim(2) != b.dim(2) || a.dim(3) != b.dim(3)) {
+    throw std::invalid_argument("concatChannels: spatial mismatch");
+  }
+  Tensor y({a.dim(0) + b.dim(0), a.dim(1), a.dim(2), a.dim(3)});
+  std::copy(a.data(), a.data() + a.numel(), y.data());
+  std::copy(b.data(), b.data() + b.numel(), y.data() + a.numel());
+  return y;
+}
+
+void splitChannels(const Tensor& g, int ca, Tensor& ga, Tensor& gb) {
+  ga = Tensor({ca, g.dim(1), g.dim(2), g.dim(3)});
+  gb = Tensor({g.dim(0) - ca, g.dim(1), g.dim(2), g.dim(3)});
+  std::copy(g.data(), g.data() + ga.numel(), ga.data());
+  std::copy(g.data() + ga.numel(), g.data() + g.numel(), gb.data());
+}
+
+}  // namespace asura::ml

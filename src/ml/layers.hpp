@@ -1,0 +1,72 @@
+#pragma once
+/// \file layers.hpp
+/// \brief Neural-net layers for the 3-D U-Net: conv3d, ReLU, maxpool,
+/// nearest-neighbour upsample, channel concat. Each layer supports forward
+/// and backward (training happens here too — see DESIGN.md substitutions).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace asura::ml {
+
+/// 3-D convolution, stride 1, zero "same" padding (k odd).
+class Conv3d {
+ public:
+  Conv3d(int cin, int cout, int k, util::Pcg32& rng);
+
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  /// Returns dL/dx; accumulates dL/dw, dL/db.
+  Tensor backward(const Tensor& gy);
+
+  Tensor w;   ///< (cout, cin, k, k, k)
+  Tensor b;   ///< (cout)
+  Tensor gw;  ///< gradient accumulators
+  Tensor gb;
+
+  [[nodiscard]] int cin() const { return cin_; }
+  [[nodiscard]] int cout() const { return cout_; }
+  [[nodiscard]] int k() const { return k_; }
+
+ private:
+  int cin_, cout_, k_, pad_;
+  Tensor x_cache_;
+};
+
+class Relu {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  [[nodiscard]] Tensor backward(const Tensor& gy) const;
+
+ private:
+  Tensor x_cache_;
+};
+
+/// 2x max pooling over (D, H, W); dims must be even.
+class MaxPool3d {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  [[nodiscard]] Tensor backward(const Tensor& gy) const;
+
+ private:
+  std::vector<std::uint32_t> argmax_;
+  std::vector<int> in_shape_;
+};
+
+/// 2x nearest-neighbour upsampling over (D, H, W).
+class Upsample3d {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  [[nodiscard]] Tensor backward(const Tensor& gy) const;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// Channel concatenation [a; b] and its split for the backward pass.
+Tensor concatChannels(const Tensor& a, const Tensor& b);
+void splitChannels(const Tensor& g, int ca, Tensor& ga, Tensor& gb);
+
+}  // namespace asura::ml

@@ -1,0 +1,63 @@
+#pragma once
+/// \file optimizer.hpp
+/// \brief ADAM optimizer (Kingma & Ba 2015) — the paper trains with ADAM,
+/// batch size 1, learning rate 1e-6, MSE loss (§3.3).
+
+#include <cmath>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace asura::ml {
+
+class Adam {
+ public:
+  struct Config {
+    double lr = 1e-6;  ///< paper default
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+
+  explicit Adam(std::vector<std::pair<Tensor*, Tensor*>> params)
+      : Adam(std::move(params), Config()) {}
+
+  Adam(std::vector<std::pair<Tensor*, Tensor*>> params, Config cfg)
+      : params_(std::move(params)), cfg_(cfg) {
+    for (auto& [w, g] : params_) {
+      (void)g;
+      m_.emplace_back(w->numel(), 0.0);
+      v_.emplace_back(w->numel(), 0.0);
+    }
+  }
+
+  void step() {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, t_);
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, t_);
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+      Tensor& w = *params_[p].first;
+      const Tensor& g = *params_[p].second;
+      auto& m = m_[p];
+      auto& v = v_[p];
+      for (std::size_t i = 0; i < w.numel(); ++i) {
+        const double gi = g[i];
+        m[i] = cfg_.beta1 * m[i] + (1.0 - cfg_.beta1) * gi;
+        v[i] = cfg_.beta2 * v[i] + (1.0 - cfg_.beta2) * gi * gi;
+        const double mhat = m[i] / bc1;
+        const double vhat = v[i] / bc2;
+        w[i] -= static_cast<float>(cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps));
+      }
+    }
+  }
+
+  [[nodiscard]] long stepsTaken() const { return t_; }
+
+ private:
+  std::vector<std::pair<Tensor*, Tensor*>> params_;
+  Config cfg_;
+  std::vector<std::vector<double>> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace asura::ml

@@ -1,0 +1,80 @@
+#pragma once
+/// \file tensor.hpp
+/// \brief Minimal dense float tensor for the CPU inference/training engine.
+///
+/// The paper trains its U-Net with Keras/TensorFlow on an A100 but runs
+/// *inference in C++ on CPUs* (via ONNX Runtime on x86-64 and SoftNeuro on
+/// A64FX) to avoid GPU-CPU transfer inside the simulation (§3.3). This
+/// module is that CPU engine, self-contained: it supports both inference
+/// and training (so the full train -> serialize -> load -> infer path can be
+/// exercised offline).
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace asura::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+    std::size_t n = 1;
+    for (int d : shape_) {
+      if (d <= 0) throw std::invalid_argument("Tensor: non-positive dim");
+      n *= static_cast<std::size_t>(d);
+    }
+    data_.assign(n, 0.0f);
+  }
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+  [[nodiscard]] const std::vector<int>& shape() const { return shape_; }
+  [[nodiscard]] int dim(int i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] bool sameShape(const Tensor& o) const { return shape_ == o.shape_; }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  const float& operator[](std::size_t i) const { return data_[i]; }
+
+  /// 4-D accessor (C, D, H, W) — the layout used throughout the U-Net.
+  float& at(int c, int d, int h, int w) {
+    return data_[flat4(c, d, h, w)];
+  }
+  [[nodiscard]] const float& at(int c, int d, int h, int w) const {
+    return data_[flat4(c, d, h, w)];
+  }
+
+  /// 5-D accessor (Cout, Cin, kd, kh, kw) — convolution weights.
+  float& at5(int o, int i, int a, int b, int c) { return data_[flat5(o, i, a, b, c)]; }
+  [[nodiscard]] const float& at5(int o, int i, int a, int b, int c) const {
+    return data_[flat5(o, i, a, b, c)];
+  }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+  [[nodiscard]] std::size_t flat4(int c, int d, int h, int w) const {
+    return ((static_cast<std::size_t>(c) * shape_[1] + d) * shape_[2] + h) *
+               static_cast<std::size_t>(shape_[3]) +
+           static_cast<std::size_t>(w);
+  }
+  [[nodiscard]] std::size_t flat5(int o, int i, int a, int b, int c) const {
+    return (((static_cast<std::size_t>(o) * shape_[1] + i) * shape_[2] + a) * shape_[3] +
+            b) *
+               static_cast<std::size_t>(shape_[4]) +
+           static_cast<std::size_t>(c);
+  }
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Mean squared error and its gradient w.r.t. `pred`.
+double mseLoss(const Tensor& pred, const Tensor& target, Tensor* grad = nullptr);
+
+}  // namespace asura::ml

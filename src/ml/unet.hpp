@@ -1,0 +1,72 @@
+#pragma once
+/// \file unet.hpp
+/// \brief 3-D U-Net (Ronneberger et al. 2015) for supernova-shell surrogacy.
+///
+/// Architecture (paper §3.3 + Fig. 3): a series of 3-D convolutional layers
+/// in an encoder/decoder arrangement with skip connections; input is the
+/// 8-channel log-encoded gas state in a (60 pc)^3 cube (density,
+/// temperature, and +/- split log-velocities), output the same encoding
+/// 0.1 Myr after the explosion. Channel widths are configurable so tests can
+/// train tiny instances while the shipped surrogate uses wider ones.
+///
+/// Two pooling stages => spatial dims must be divisible by 4.
+
+#include <string>
+#include <vector>
+
+#include "ml/layers.hpp"
+#include "ml/tensor.hpp"
+
+namespace asura::ml {
+
+struct UNetConfig {
+  int in_channels = 8;
+  int out_channels = 8;
+  int base_width = 8;  ///< channels of the first encoder stage
+};
+
+class UNet3D {
+ public:
+  explicit UNet3D(const UNetConfig& cfg, std::uint64_t seed = 1234);
+
+  [[nodiscard]] Tensor forward(const Tensor& x);
+  /// Backpropagate from dL/dy; accumulates all parameter gradients.
+  void backward(const Tensor& gy);
+
+  /// Parameter/gradient pairs (for the optimizer).
+  [[nodiscard]] std::vector<std::pair<Tensor*, Tensor*>> parameters();
+  void zeroGrad();
+  [[nodiscard]] std::size_t parameterCount();
+
+  [[nodiscard]] const UNetConfig& config() const { return cfg_; }
+
+  /// Binary weight file ('.annx' — our ONNX stand-in). Throws on mismatch.
+  void save(const std::string& path) const;
+  void load(const std::string& path);
+
+ private:
+  UNetConfig cfg_;
+  // encoder
+  Conv3d e1a_, e1b_;
+  Relu r_e1a_, r_e1b_;
+  MaxPool3d pool1_;
+  Conv3d e2a_, e2b_;
+  Relu r_e2a_, r_e2b_;
+  MaxPool3d pool2_;
+  // bottleneck
+  Conv3d ba_, bb_;
+  Relu r_ba_, r_bb_;
+  // decoder
+  Upsample3d up2_;
+  Conv3d d2a_, d2b_;
+  Relu r_d2a_, r_d2b_;
+  Upsample3d up1_;
+  Conv3d d1a_, d1b_;
+  Relu r_d1a_, r_d1b_;
+  Conv3d out_;
+
+  // forward caches for the skip-connection backward pass
+  int e1_channels_ = 0, e2_channels_ = 0;
+};
+
+}  // namespace asura::ml

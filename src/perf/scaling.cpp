@@ -1,0 +1,170 @@
+#include "perf/scaling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace asura::perf {
+
+const std::vector<std::string>& breakdownCategories() {
+  static const std::vector<std::string> cats = {
+      "Total",
+      "Send_SNe",
+      "Receive_SNe",
+      "Integration",
+      "Exchange_Particle",
+      "Preprocess_of_Feedback",
+      "1st Calc_Kernel_Size_and_Density",
+      "1st Make_Local_Tree",
+      "1st Exchange_LET",
+      "1st Calc_Force",
+      "Final_kick",
+      "Identify_SNe",
+      "Feedback_and_Cooling",
+      "Star_Formation",
+      "2nd Calc_Kernel_Size",
+      "2nd Make_Tree",
+      "2nd Exchange_LET",
+      "2nd Calc_Force",
+  };
+  return cats;
+}
+
+BreakdownModel BreakdownModel::forFugaku() {
+  BreakdownModel m;
+  m.anchor_ = {148896, 148896 * 2.0e6};  // weakMW2M full system, 2M/node
+
+  using S = Term::Shape;
+  // Anchor seconds from Table 3 (measured) and its residual: Table 3 lists
+  // 16.58 s of the 20.34 s total; the remaining 3.76 s is distributed over
+  // the O(n) bookkeeping categories in Fig. 6's legend.
+  m.terms_ = {
+      {"Send_SNe", {S::Constant, 0.20}},
+      {"Receive_SNe", {S::Constant, 0.30}},
+      {"Integration", {S::LocalLinear, 0.60}},
+      {"Exchange_Particle", {S::ParticleExchange, 3.87, 0.35}},
+      {"Preprocess_of_Feedback", {S::LocalLinear, 0.40}},
+      // kernel-size iteration 3.18 s (density/pressure 1.18 s is the
+      // post-energy-update recomputation, mapped to 2nd Calc_Force)
+      {"1st Calc_Kernel_Size_and_Density", {S::Interaction, 3.18}},
+      {"1st Make_Local_Tree", {S::TreeBuild, 0.96}},
+      {"1st Exchange_LET", {S::LetExchange, 3.89, 0.45}},
+      // gravity 1.63 s + hydro force 0.34 s
+      {"1st Calc_Force", {S::Interaction, 1.97}},
+      {"Final_kick", {S::LocalLinear, 0.50}},
+      {"Identify_SNe", {S::LocalLinear, 0.10}},
+      {"Feedback_and_Cooling", {S::LocalLinear, 0.80}},
+      {"Star_Formation", {S::LocalLinear, 0.40}},
+      {"2nd Calc_Kernel_Size", {S::Interaction, 0.46}},
+      {"2nd Make_Tree", {S::TreeBuild, 0.12}},
+      {"2nd Exchange_LET", {S::LetExchange, 1.41, 0.45}},
+      // second density/pressure recomputation
+      {"2nd Calc_Force", {S::Interaction, 1.18}},
+  };
+  // n_l = a log2 N + n_g with n_g = 2048 (§5.2.4): from the Table 3 gravity
+  // row, 147 PFLOP / 27 flops / 3e11 targets = 18,100 list entries per
+  // target => a = (18100 - 2048) / log2(3e11) ~ 426.
+  m.log_coeff_ = 426.0;
+  m.group_size_ = 2048.0;
+  return m;
+}
+
+BreakdownModel BreakdownModel::forRusty() {
+  BreakdownModel m = forFugaku();
+  // Anchor: Table 3 Rusty rows — 193 nodes, weakMW_rusty (1.2e9 per node,
+  // N = 2.3e11): gravity 138 s, hydro force 18.4 s. Rescale every Fugaku
+  // anchor by the measured gravity ratio (per-node load x machine rate);
+  // communication anchors use the same ratio of volume terms but InfiniBand
+  // latency is amortized across the much smaller node count.
+  m.anchor_ = {193, 193 * 1.2e9};
+  const double compute_ratio = 138.0 / 1.63;     // measured gravity ratio
+  const double volume_ratio = 1.2e9 / 2.0e6;     // per-node particle ratio
+  for (auto& [name, term] : m.terms_) {
+    switch (term.shape) {
+      case Term::Shape::Interaction:
+      case Term::Shape::TreeBuild:
+        term.anchor_seconds *= compute_ratio;
+        break;
+      case Term::Shape::LetExchange:
+      case Term::Shape::ParticleExchange:
+        // Volume-dominated at 193 nodes; surface ~ volume^{2/3}.
+        term.anchor_seconds *= std::pow(volume_ratio, 2.0 / 3.0);
+        term.comm_fraction = 0.1;  // little latency pain at p ~ 200
+        break;
+      case Term::Shape::LocalLinear:
+        term.anchor_seconds *= volume_ratio / 48.0;  // 48 ranks share a node
+        break;
+      case Term::Shape::Constant:
+        break;
+    }
+  }
+  // Keep the measured split between gravity-dominated rows.
+  m.terms_["1st Calc_Force"].anchor_seconds = 138.0 + 18.4;
+  return m;
+}
+
+double BreakdownModel::shapeValue(const Term& term, const RunPoint& run) const {
+  const double p = run.nodes;
+  const double n = run.perNode();
+  const double N = run.n_total;
+  switch (term.shape) {
+    case Term::Shape::Interaction:
+      return n * (log_coeff_ * std::log2(std::max(N, 2.0)) + group_size_);
+    case Term::Shape::TreeBuild:
+      return n * std::log2(std::max(n, 2.0));
+    case Term::Shape::LetExchange:
+      return term.comm_fraction * std::cbrt(p) +
+             (1.0 - term.comm_fraction) * std::pow(n, 2.0 / 3.0) *
+                 std::log2(std::max(p, 2.0)) * 1e-4;
+    case Term::Shape::ParticleExchange:
+      return term.comm_fraction * std::cbrt(p) +
+             (1.0 - term.comm_fraction) * std::pow(n, 2.0 / 3.0) *
+                 std::pow(p, 1.0 / 6.0) * 1e-4;
+    case Term::Shape::LocalLinear:
+      return n;
+    case Term::Shape::Constant:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+std::map<std::string, double> BreakdownModel::evaluate(const RunPoint& run) const {
+  if (run.nodes <= 0 || run.n_total <= 0.0) {
+    throw std::invalid_argument("BreakdownModel: bad run point");
+  }
+  std::map<std::string, double> out;
+  double total = 0.0;
+  for (const auto& [name, term] : terms_) {
+    const double t =
+        term.anchor_seconds * shapeValue(term, run) / shapeValue(term, anchor_);
+    out[name] = t;
+    total += t;
+  }
+  out["Total"] = total;
+  return out;
+}
+
+double BreakdownModel::total(const RunPoint& run) const {
+  return evaluate(run).at("Total");
+}
+
+std::vector<std::pair<RunPoint, std::map<std::string, double>>>
+BreakdownModel::weakScaling(const std::vector<int>& node_counts, double per_node) const {
+  std::vector<std::pair<RunPoint, std::map<std::string, double>>> out;
+  for (int p : node_counts) {
+    const RunPoint run{p, p * per_node};
+    out.emplace_back(run, evaluate(run));
+  }
+  return out;
+}
+
+std::vector<std::pair<RunPoint, std::map<std::string, double>>>
+BreakdownModel::strongScaling(const std::vector<int>& node_counts, double n_total) const {
+  std::vector<std::pair<RunPoint, std::map<std::string, double>>> out;
+  for (int p : node_counts) {
+    const RunPoint run{p, n_total};
+    out.emplace_back(run, evaluate(run));
+  }
+  return out;
+}
+
+}  // namespace asura::perf

@@ -1,0 +1,77 @@
+#pragma once
+/// \file dsl.hpp
+/// \brief Mini-PIKG: particle-interaction kernel generator (paper §3.5).
+///
+/// PIKG "takes the high-level description of interaction kernels written in
+/// a simple DSL and generates code in many different forms, including
+/// intrinsics for the ARM SVE architecture". This reimplementation keeps the
+/// same pipeline on the architectures available here:
+///
+///   KernelDef (a small SSA-form DSL)  --->  C++ scalar code
+///                                     --->  AVX2 intrinsics code
+///                                     --->  AVX-512 intrinsics code
+///
+/// Generated code includes the two PIKG transformations relevant off-A64FX:
+/// (1) AoS -> SoA conversion of the target/source arrays, and (2) i-blocked
+/// SIMD loops with broadcast j-particles. (The paper's loop fission is an
+/// A64FX-register-pressure workaround and is recorded in comments only.)
+/// Generation happens at build time: the `pikg_gen` tool writes a header
+/// that tests and benchmarks compile and compare against reference kernels.
+
+#include <string>
+#include <vector>
+
+namespace asura::pikg {
+
+/// One SSA statement: dst = op(a, b, c). Operand strings name previously
+/// defined variables, loaded fields (`<field>_i` / `<field>_j`) or, for
+/// `op == "const"`, a floating-point literal in `a`.
+struct Stmt {
+  std::string dst;
+  std::string op;  ///< const | add | sub | mul | fma | rsqrt | max | min
+  std::string a;
+  std::string b;
+  std::string c;
+};
+
+/// Accumulation into a force field: force.<field> (+|-)= var  per j-particle.
+struct Accum {
+  std::string field;
+  std::string var;
+  char sign = '+';
+};
+
+/// Interaction kernel description.
+struct KernelDef {
+  std::string name;                ///< e.g. "grav" -> structs GravEpi/GravEpj/GravForce
+  std::vector<std::string> epi;    ///< per-target float fields
+  std::vector<std::string> epj;    ///< per-source float fields
+  std::vector<std::string> force;  ///< output float fields
+  std::vector<Stmt> body;          ///< executed per (i, j) pair
+  std::vector<Accum> accum;
+  int flops_per_interaction = 0;   ///< Table 4 convention for this kernel
+};
+
+/// The paper's gravity kernel (Eq. 1), 27 ops per interaction.
+KernelDef makeGravityKernel();
+
+/// Emit the struct definitions shared by all backends.
+std::string generateStructs(const KernelDef& def);
+
+/// Emit `void <name>_scalar(const ...Epi*, int, const ...Epj*, int, ...Force*)`.
+std::string generateScalar(const KernelDef& def);
+
+/// Emit the AVX2 backend (guarded by #ifdef __AVX2__).
+std::string generateAvx2(const KernelDef& def);
+
+/// Emit the AVX-512 backend (guarded by #ifdef __AVX512F__).
+std::string generateAvx512(const KernelDef& def);
+
+/// Full header: pragma once + includes + structs + all backends + a
+/// dispatcher `<name>_best` picking the widest available instruction set.
+std::string generateHeader(const KernelDef& def);
+
+/// Basic validity checks (SSA, operand resolution); throws on error.
+void validate(const KernelDef& def);
+
+}  // namespace asura::pikg

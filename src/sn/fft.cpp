@@ -1,0 +1,65 @@
+#include "sn/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace asura::sn {
+
+void fft1d(std::complex<double>* data, int n, bool inverse) {
+  if (!isPowerOfTwo(n)) throw std::invalid_argument("fft1d: n must be a power of two");
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * std::numbers::pi / len * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (int k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (int i = 0; i < n; ++i) data[i] /= n;
+  }
+}
+
+void fft3d(std::vector<std::complex<double>>& cube, int n, bool inverse) {
+  if (cube.size() != static_cast<std::size_t>(n) * n * n) {
+    throw std::invalid_argument("fft3d: size mismatch");
+  }
+  auto idx = [n](int i, int j, int k) {
+    return (static_cast<std::size_t>(i) * n + j) * static_cast<std::size_t>(n) + k;
+  };
+  std::vector<std::complex<double>> line(static_cast<std::size_t>(n));
+
+  // Transform along z (contiguous), then y, then x.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) fft1d(&cube[idx(i, j, 0)], n, inverse);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) line[static_cast<std::size_t>(j)] = cube[idx(i, j, k)];
+      fft1d(line.data(), n, inverse);
+      for (int j = 0; j < n; ++j) cube[idx(i, j, k)] = line[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) line[static_cast<std::size_t>(i)] = cube[idx(i, j, k)];
+      fft1d(line.data(), n, inverse);
+      for (int i = 0; i < n; ++i) cube[idx(i, j, k)] = line[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+}  // namespace asura::sn

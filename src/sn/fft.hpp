@@ -1,0 +1,20 @@
+#pragma once
+/// \file fft.hpp
+/// \brief Radix-2 complex FFT (1-D and 3-D cubes) used by the turbulence
+/// generator. Power-of-two sizes only.
+
+#include <complex>
+#include <vector>
+
+namespace asura::sn {
+
+/// In-place iterative Cooley-Tukey. `n` must be a power of two.
+/// `inverse` applies the conjugate transform and the 1/n normalization.
+void fft1d(std::complex<double>* data, int n, bool inverse);
+
+/// 3-D transform of an n^3 cube in C-order (x slowest).
+void fft3d(std::vector<std::complex<double>>& cube, int n, bool inverse);
+
+[[nodiscard]] constexpr bool isPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace asura::sn

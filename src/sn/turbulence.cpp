@@ -1,0 +1,77 @@
+#include "sn/turbulence.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "sn/fft.hpp"
+#include "util/rng.hpp"
+
+namespace asura::sn {
+
+std::vector<double> gaussianRandomField(const TurbulenceParams& params,
+                                        std::uint64_t component) {
+  const int n = params.n;
+  if (!isPowerOfTwo(n)) throw std::invalid_argument("turbulence: n must be 2^k");
+  const auto sz = static_cast<std::size_t>(n) * n * n;
+
+  // White noise in real space -> FFT -> spectral filter -> inverse FFT.
+  // Starting real guarantees Hermitian spectra and hence a real output.
+  util::Pcg32 rng(params.seed, 0x70B0000ULL + component);
+  std::vector<std::complex<double>> cube(sz);
+  for (auto& c : cube) c = {rng.normal(), 0.0};
+  fft3d(cube, n, /*inverse=*/false);
+
+  auto kof = [n](int i) { return i <= n / 2 ? i : i - n; };
+  const double half_index = 0.5 * params.spectral_index;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        const std::size_t c = (static_cast<std::size_t>(i) * n + j) * n + k;
+        const double kx = kof(i), ky = kof(j), kz = kof(k);
+        const double kk = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (kk == 0.0) {
+          cube[c] = 0.0;  // zero mean
+        } else {
+          cube[c] *= std::pow(kk, half_index);  // amplitude ∝ sqrt(P)
+        }
+      }
+    }
+  }
+  fft3d(cube, n, /*inverse=*/true);
+
+  std::vector<double> out(sz);
+  double mean = 0.0, var = 0.0;
+  for (std::size_t c = 0; c < sz; ++c) {
+    out[c] = cube[c].real();
+    mean += out[c];
+  }
+  mean /= static_cast<double>(sz);
+  for (std::size_t c = 0; c < sz; ++c) {
+    out[c] -= mean;
+    var += out[c] * out[c];
+  }
+  const double rms = std::sqrt(var / static_cast<double>(sz));
+  if (rms > 0.0) {
+    for (auto& v : out) v /= rms;
+  }
+  return out;
+}
+
+std::array<std::vector<double>, 3> turbulentVelocityField(const TurbulenceParams& params) {
+  std::array<std::vector<double>, 3> v;
+  for (int c = 0; c < 3; ++c) {
+    v[static_cast<std::size_t>(c)] = gaussianRandomField(params, static_cast<std::uint64_t>(c));
+    for (auto& x : v[static_cast<std::size_t>(c)]) x *= params.v_rms;
+  }
+  return v;
+}
+
+std::vector<double> lognormalDensityField(const TurbulenceParams& params, double rho0,
+                                          double sigma_ln) {
+  auto g = gaussianRandomField(params, 0xDE75ULL);
+  for (auto& x : g) x = rho0 * std::exp(sigma_ln * x - 0.5 * sigma_ln * sigma_ln);
+  return g;
+}
+
+}  // namespace asura::sn

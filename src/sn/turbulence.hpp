@@ -1,0 +1,39 @@
+#pragma once
+/// \file turbulence.hpp
+/// \brief Turbulent field generator for surrogate training data (paper §3.3):
+/// "we use density fields disturbed by turbulent velocity fields that follow
+/// ∝ v^-4, which imitate environments of star-forming regions".
+///
+/// Fields are Gaussian random fields with power spectrum P(k) ∝ k^{index}
+/// (index = -4: Burgers-like supersonic turbulence), synthesized by
+/// filtering white noise in k-space with our own 3-D FFT; real-space white
+/// noise in, real field out (Hermitian symmetry by construction).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace asura::sn {
+
+struct TurbulenceParams {
+  int n = 32;                   ///< grid cells per side (power of two)
+  double box_size = 60.0;       ///< [pc]
+  double v_rms = 5.0;           ///< target RMS of each velocity component [pc/Myr]
+  double spectral_index = -4.0; ///< P(k) ∝ k^index
+  std::uint64_t seed = 1;
+};
+
+/// One scalar Gaussian random field with the requested spectrum, zero mean,
+/// unit RMS (n^3 values, C-order).
+std::vector<double> gaussianRandomField(const TurbulenceParams& params,
+                                        std::uint64_t component);
+
+/// Three statistically independent velocity components scaled to v_rms.
+std::array<std::vector<double>, 3> turbulentVelocityField(const TurbulenceParams& params);
+
+/// Lognormal density field rho0 * exp(s * g - s^2/2) from a GRF g (mean
+/// preserved in expectation); `sigma_ln` controls the density contrast.
+std::vector<double> lognormalDensityField(const TurbulenceParams& params, double rho0,
+                                          double sigma_ln);
+
+}  // namespace asura::sn

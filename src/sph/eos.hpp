@@ -1,0 +1,21 @@
+#pragma once
+/// \file eos.hpp
+/// \brief Ideal-gas equation of state for the interstellar medium.
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace asura::sph {
+
+/// P = (gamma - 1) rho u.
+inline double pressure(double rho, double u, double gamma = units::gamma_gas) {
+  return (gamma - 1.0) * rho * u;
+}
+
+/// c_s = sqrt(gamma P / rho) = sqrt(gamma (gamma-1) u).
+inline double soundSpeed(double u, double gamma = units::gamma_gas) {
+  return std::sqrt(std::max(0.0, gamma * (gamma - 1.0) * u));
+}
+
+}  // namespace asura::sph

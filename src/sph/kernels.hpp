@@ -1,0 +1,131 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief SPH smoothing kernels, parameterized by the support radius H.
+///
+/// Convention: W(r, H) has compact support r < H (H is the particle's
+/// Particle::h field). For the cubic spline this means the conventional
+/// smoothing length is h = H/2. dW/dH is needed by the Newton iteration of
+/// the variable-smoothing-length density solve ("Calc Kernel Size", §5.2.5).
+///
+/// These closed forms are also the functions the PIKG piecewise-polynomial
+/// approximation (§3.5) is fitted against.
+
+#include <cmath>
+#include <numbers>
+
+namespace asura::sph {
+
+enum class KernelType { CubicSpline, WendlandC2 };
+
+namespace detail {
+
+inline constexpr double kPi = std::numbers::pi;
+
+}  // namespace detail
+
+/// M4 cubic spline (Monaghan & Lattanzio 1985), support H = 2h.
+struct CubicSplineKernel {
+  static double w(double r, double H) {
+    const double h = 0.5 * H;
+    const double q = r / h;
+    const double sigma = 1.0 / (detail::kPi * h * h * h);
+    if (q < 1.0) return sigma * (1.0 - 1.5 * q * q + 0.75 * q * q * q);
+    if (q < 2.0) {
+      const double t = 2.0 - q;
+      return sigma * 0.25 * t * t * t;
+    }
+    return 0.0;
+  }
+
+  /// dW/dr (negative inside the support).
+  static double dwdr(double r, double H) {
+    const double h = 0.5 * H;
+    const double q = r / h;
+    const double sigma = 1.0 / (detail::kPi * h * h * h);
+    if (q < 1.0) return sigma / h * (-3.0 * q + 2.25 * q * q);
+    if (q < 2.0) {
+      const double t = 2.0 - q;
+      return sigma / h * (-0.75 * t * t);
+    }
+    return 0.0;
+  }
+
+  /// dW/dH = (1/2) dW/dh = -(sigma / 2h) (3 f(q) + q f'(q)).
+  static double dwdH(double r, double H) {
+    const double h = 0.5 * H;
+    const double q = r / h;
+    if (q >= 2.0) return 0.0;
+    const double sigma = 1.0 / (detail::kPi * h * h * h);
+    double f, fp;
+    if (q < 1.0) {
+      f = 1.0 - 1.5 * q * q + 0.75 * q * q * q;
+      fp = -3.0 * q + 2.25 * q * q;
+    } else {
+      const double t = 2.0 - q;
+      f = 0.25 * t * t * t;
+      fp = -0.75 * t * t;
+    }
+    return -0.5 * sigma / h * (3.0 * f + q * fp);
+  }
+};
+
+/// Wendland C2 (3-D), support H.
+struct WendlandC2Kernel {
+  static double w(double r, double H) {
+    const double q = r / H;
+    if (q >= 1.0) return 0.0;
+    const double sigma = 21.0 / (2.0 * detail::kPi * H * H * H);
+    const double t = 1.0 - q;
+    const double t2 = t * t;
+    return sigma * t2 * t2 * (4.0 * q + 1.0);
+  }
+
+  static double dwdr(double r, double H) {
+    const double q = r / H;
+    if (q >= 1.0) return 0.0;
+    const double sigma = 21.0 / (2.0 * detail::kPi * H * H * H);
+    const double t = 1.0 - q;
+    return sigma / H * (-20.0 * q * t * t * t);
+  }
+
+  static double dwdH(double r, double H) {
+    const double q = r / H;
+    if (q >= 1.0) return 0.0;
+    const double sigma = 21.0 / (2.0 * detail::kPi * H * H * H);
+    const double t = 1.0 - q;
+    const double f = t * t * t * t * (4.0 * q + 1.0);
+    const double fp = -20.0 * q * t * t * t;
+    return -sigma / H * (3.0 * f + q * fp);
+  }
+};
+
+/// Runtime-dispatched kernel facade.
+struct Kernel {
+  KernelType type = KernelType::CubicSpline;
+
+  [[nodiscard]] double w(double r, double H) const {
+    return type == KernelType::CubicSpline ? CubicSplineKernel::w(r, H)
+                                           : WendlandC2Kernel::w(r, H);
+  }
+  [[nodiscard]] double dwdr(double r, double H) const {
+    return type == KernelType::CubicSpline ? CubicSplineKernel::dwdr(r, H)
+                                           : WendlandC2Kernel::dwdr(r, H);
+  }
+  [[nodiscard]] double dwdH(double r, double H) const {
+    return type == KernelType::CubicSpline ? CubicSplineKernel::dwdH(r, H)
+                                           : WendlandC2Kernel::dwdH(r, H);
+  }
+};
+
+/// Support radius that would enclose `n_ngb` neighbours at density `rho`
+/// for particle mass `m`: (4 pi / 3) H^3 (rho / m) = n_ngb.
+inline double supportFromDensity(double m, double rho, int n_ngb) {
+  return std::cbrt(3.0 * n_ngb * m / (4.0 * detail::kPi * rho));
+}
+
+/// Density implied by the neighbour-count closure at support H.
+inline double densityFromSupport(double m, double H, int n_ngb) {
+  return 3.0 * n_ngb * m / (4.0 * detail::kPi * H * H * H);
+}
+
+}  // namespace asura::sph

@@ -1,0 +1,282 @@
+#include "sph/sph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fdps/tree.hpp"
+#include "sph/eos.hpp"
+
+namespace asura::sph {
+
+using fdps::SourceEntry;
+using fdps::SourceTree;
+using util::Vec3d;
+
+namespace {
+
+/// Gas-only source entries over the full working array (locals + ghosts).
+SourceTree buildGasTree(std::span<Particle> work, int leaf_size) {
+  std::vector<SourceEntry> entries;
+  entries.reserve(work.size());
+  for (std::uint32_t i = 0; i < work.size(); ++i) {
+    const Particle& p = work[i];
+    if (!p.isGas()) continue;
+    SourceEntry e;
+    e.pos = p.pos;
+    e.mass = p.mass;
+    e.eps = p.eps;
+    e.h = p.h;
+    e.idx = i;
+    entries.push_back(e);
+  }
+  SourceTree tree;
+  tree.build(std::move(entries), leaf_size);
+  return tree;
+}
+
+}  // namespace
+
+DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
+                          const SphParams& params) {
+  DensityStats stats;
+  SourceTree tree = buildGasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+
+  const auto groups =
+      fdps::makeTargetGroups(work.subspan(0, n_local), params.group_size, /*gas_only=*/true);
+
+  int max_iter = 0;
+  std::uint64_t interactions = 0;
+
+#pragma omp parallel reduction(max : max_iter) reduction(+ : interactions)
+  {
+    std::vector<std::uint32_t> cand;
+    // Candidates sorted by distance: each Newton iteration then only touches
+    // the prefix r < H (~n_ngb entries) instead of the whole gather sphere.
+    std::vector<std::pair<double, std::uint32_t>> by_r;
+
+#pragma omp for schedule(dynamic)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& grp = groups[g];
+      for (const auto pi : grp.indices) {
+        Particle& p = work[pi];
+
+        // Neighbour-count closure solved on the *sorted radii*: counting
+        // N(H) = #{r < H} needs no kernel evaluations, is exactly monotone
+        // in H, and therefore converges in a handful of closure-scaled /
+        // bisection steps even though N is a noisy step function — the
+        // discreteness that defeats a pure Newton iteration on rho(H).
+        // Acceptance band +-max(2, 5%) neighbours, standard in SPH codes.
+        double H = p.h;
+        double search = 0.0;
+        by_r.clear();
+        auto regather = [&](double radius) {
+          search = radius;
+          cand.clear();
+          fdps::Box pt;
+          pt.extend(p.pos);
+          tree.gatherNeighbors(pt, search, cand);
+          by_r.clear();
+          by_r.reserve(cand.size());
+          for (const auto k : cand) {
+            by_r.emplace_back((p.pos - tree.entries()[k].pos).norm(), k);
+          }
+          std::sort(by_r.begin(), by_r.end());
+        };
+        auto prefixEnd = [&](double radius) {
+          return std::upper_bound(by_r.begin(), by_r.end(),
+                                  std::pair<double, std::uint32_t>{radius, 0xffffffffu});
+        };
+        auto countWithin = [&](double radius) {
+          return static_cast<int>(prefixEnd(radius * (1.0 - 1e-15)) - by_r.begin());
+        };
+
+        const int tol = std::max(2, params.n_ngb / 20);
+        double lo = 0.0, hi = 0.0;  // bracket (hi == 0: not yet found)
+        int it = 0;
+        for (; it < params.max_h_iterations; ++it) {
+          if (H > search) regather(1.3 * H);
+          const int cnt = countWithin(H);
+          if (std::abs(cnt - params.n_ngb) <= tol) break;
+          if (cnt > params.n_ngb) {
+            hi = H;
+          } else {
+            lo = H;
+            // If every gathered candidate is inside, the true count may be
+            // larger; the regather above handles growth next iteration.
+          }
+          double H_new;
+          if (cnt > 0) {
+            // Closure-scaled proposal: H ~ (n_ngb / N)^{1/3}.
+            H_new = H * std::cbrt(static_cast<double>(params.n_ngb) /
+                                  static_cast<double>(cnt));
+          } else {
+            H_new = 2.0 * H;
+          }
+          if (hi > 0.0) {
+            // Keep proposals inside the bracket; fall back to bisection.
+            if (H_new <= lo || H_new >= hi) H_new = 0.5 * (lo + hi);
+            if (hi - lo < 1e-10 * hi) {
+              H = hi;  // discrete jump straddles the target; take the
+                       // smallest support containing >= n_ngb - tol
+              break;
+            }
+          } else {
+            H_new = std::clamp(H_new, 0.5 * H, 2.0 * H);
+          }
+          H = H_new;
+        }
+        max_iter = std::max(max_iter, it + 1);
+
+        // Final gather statistics with the converged support.
+        if (H > search) regather(H);
+        int nngb = 0;
+        double rho = 0.0;
+        double div = 0.0;
+        Vec3d curl{};
+        const auto end = prefixEnd(H * (1.0 - 1e-15));
+        for (auto c = by_r.begin(); c != end; ++c) {
+          const SourceEntry& s = tree.entries()[c->second];
+          const Particle& q = work[s.idx];
+          const Vec3d dr = p.pos - q.pos;
+          const double r = c->first;
+          ++nngb;
+          rho += q.mass * params.kernel.w(r, H);
+          if (r > 0.0) {
+            const double dwdr = params.kernel.dwdr(r, H);
+            const Vec3d gradW = (dwdr / r) * dr;
+            const Vec3d dv = p.vel - q.vel;
+            div -= q.mass * dv.dot(gradW);
+            curl -= q.mass * dv.cross(gradW);
+          }
+          ++interactions;
+        }
+        p.h = H;
+        p.rho = rho;
+        p.nngb = nngb;
+        p.divv = rho > 0.0 ? div / rho : 0.0;
+        p.curlv = rho > 0.0 ? curl.norm() / rho : 0.0;
+        p.pres = pressure(rho, p.u);
+        p.cs = soundSpeed(p.u);
+      }
+    }
+  }
+
+  stats.max_iterations = max_iter;
+  stats.interactions = interactions;
+  return stats;
+}
+
+ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
+                                const SphParams& params) {
+  ForceStats stats;
+  SourceTree tree = buildGasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+
+  const auto groups =
+      fdps::makeTargetGroups(work.subspan(0, n_local), params.group_size, /*gas_only=*/true);
+
+  std::uint64_t interactions = 0;
+
+#pragma omp parallel reduction(+ : interactions)
+  {
+    std::vector<std::uint32_t> cand;
+
+#pragma omp for schedule(dynamic)
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& grp = groups[g];
+      // Group-level candidate gather: radius = max support in the group;
+      // scatter side handled by the tree's per-node max_h.
+      double group_h = 0.0;
+      for (const auto pi : grp.indices) group_h = std::max(group_h, work[pi].h);
+      cand.clear();
+      tree.gatherNeighbors(grp.bbox, group_h, cand);
+
+      for (const auto pi : grp.indices) {
+        Particle& p = work[pi];
+        const double Hi = p.h;
+        const double Pi_rho2 = p.pres / (p.rho * p.rho);
+        const double ci = p.cs;
+        const double hi = 0.5 * Hi;
+        const double balsara_i =
+            std::abs(p.divv) /
+            (std::abs(p.divv) + p.curlv + 1e-4 * ci / std::max(hi, 1e-30));
+
+        Vec3d acc{};
+        double dudt = 0.0;
+        double vsig = ci;
+
+        for (const auto k : cand) {
+          const SourceEntry& s = tree.entries()[k];
+          if (s.idx == pi) continue;
+          const Particle& q = work[s.idx];
+          const Vec3d dr = p.pos - q.pos;
+          const double r = dr.norm();
+          const double Hj = q.h;
+          if (r >= std::max(Hi, Hj) || r == 0.0) continue;
+          ++interactions;
+
+          // Symmetrized kernel gradient.
+          const double dwi = r < Hi ? params.kernel.dwdr(r, Hi) : 0.0;
+          const double dwj = r < Hj ? params.kernel.dwdr(r, Hj) : 0.0;
+          const Vec3d gradW = (0.5 * (dwi + dwj) / r) * dr;
+
+          const Vec3d dv = p.vel - q.vel;
+          const double vdotr = dv.dot(dr);
+
+          // Monaghan (1992) viscosity with Balsara limiter.
+          double visc = 0.0;
+          if (vdotr < 0.0) {
+            const double hj = 0.5 * Hj;
+            const double hbar = 0.5 * (hi + hj);
+            const double mu = hbar * vdotr / (r * r + 0.01 * hbar * hbar);
+            const double cbar = 0.5 * (ci + q.cs);
+            const double rhobar = 0.5 * (p.rho + q.rho);
+            const double cj = q.cs;
+            const double balsara_j =
+                std::abs(q.divv) /
+                (std::abs(q.divv) + q.curlv + 1e-4 * cj / std::max(hj, 1e-30));
+            visc = (-params.alpha_visc * cbar * mu + params.beta_visc * mu * mu) /
+                   rhobar * 0.5 * (balsara_i + balsara_j);
+            vsig = std::max(vsig, ci + q.cs - 3.0 * mu);
+          } else {
+            vsig = std::max(vsig, ci + q.cs);
+          }
+
+          const double Pj_rho2 = q.pres / (q.rho * q.rho);
+          acc -= q.mass * (Pi_rho2 + Pj_rho2 + visc) * gradW;
+          dudt += q.mass * (Pi_rho2 + 0.5 * visc) * dv.dot(gradW);
+        }
+
+        p.acc += acc;
+        p.du_dt = dudt;
+        p.vsig = vsig;
+      }
+    }
+  }
+
+  stats.interactions = interactions;
+  return stats;
+}
+
+double cflTimestep(std::span<const Particle> gas, const SphParams& params) {
+  double dt = std::numeric_limits<double>::max();
+  for (const auto& p : gas) {
+    if (!p.isGas()) continue;
+    const double v = std::max(p.vsig, p.cs);
+    if (v > 0.0) dt = std::min(dt, params.cfl * 0.5 * p.h / v);
+  }
+  return dt;
+}
+
+double maxGatherRadius(std::span<const Particle> particles, std::size_t n_local) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n_local && i < particles.size(); ++i) {
+    if (particles[i].isGas()) m = std::max(m, particles[i].h);
+  }
+  return m;
+}
+
+}  // namespace asura::sph

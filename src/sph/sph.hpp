@@ -1,0 +1,65 @@
+#pragma once
+/// \file sph.hpp
+/// \brief SPH passes: variable-smoothing-length density and hydro force.
+///
+/// These are the paper's "1st Calc_Kernel_Size_and_Density" (an iterative
+/// solve — "usually twice if we can set the initial guess of the kernel size
+/// properly", §5.2.5) and "2nd Calc_Force" phases. The working array is the
+/// concatenation of local particles followed by ghost particles imported by
+/// fdps::exchangeHydroGhosts; only the local prefix [0, n_local) is updated.
+///
+/// FLOP accounting matches Table 4: 73 operations per density/pressure
+/// interaction, 101 per hydro-force interaction.
+
+#include <cstdint>
+#include <span>
+
+#include "fdps/particle.hpp"
+#include "sph/kernels.hpp"
+
+namespace asura::sph {
+
+using fdps::Particle;
+
+struct SphParams {
+  Kernel kernel{};
+  int n_ngb = 64;            ///< neighbour-count closure target
+  double alpha_visc = 1.0;   ///< Monaghan viscosity alpha
+  double beta_visc = 2.0;    ///< Monaghan viscosity beta
+  double cfl = 0.3;          ///< Courant factor
+  int group_size = 64;       ///< n_g for target grouping
+  int leaf_size = 16;
+  int max_h_iterations = 30;
+  double h_tolerance = 1e-3;
+};
+
+struct DensityStats {
+  int max_iterations = 0;             ///< worst-case Newton iterations
+  std::uint64_t interactions = 0;     ///< kernel evaluations (73 flops each)
+  [[nodiscard]] double flops() const { return 73.0 * static_cast<double>(interactions); }
+};
+
+struct ForceStats {
+  std::uint64_t interactions = 0;     ///< pair evaluations (101 flops each)
+  [[nodiscard]] double flops() const { return 101.0 * static_cast<double>(interactions); }
+};
+
+/// Solve for h (support radius), rho, nngb, divv, curlv, pres, cs of all
+/// *local gas* particles (indices < n_local). Ghost entries contribute as
+/// neighbours only. Particles must carry a positive initial h guess.
+DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
+                          const SphParams& params);
+
+/// Accumulate hydrodynamic accelerations and du/dt into local gas particles;
+/// also records the max signal velocity (Particle::vsig) for the CFL clock.
+/// Requires density/pressure fields to be current on locals AND ghosts.
+ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
+                                const SphParams& params);
+
+/// Minimum CFL timestep over local gas: dt = cfl * (h/2) / vsig.
+double cflTimestep(std::span<const Particle> gas, const SphParams& params);
+
+/// Largest gather support among local gas (ghost-exchange margin).
+double maxGatherRadius(std::span<const Particle> particles, std::size_t n_local);
+
+}  // namespace asura::sph

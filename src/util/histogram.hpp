@@ -1,0 +1,70 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Weighted 1-D histograms (linear or logarithmic bins).
+///
+/// Used for the density/temperature probability distribution functions with
+/// which the paper validates the surrogate scheme (§3.3), and for the
+/// phase-diagram diagnostics in asura::core.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace asura::util {
+
+class Histogram {
+ public:
+  /// \param lo,hi bin range. For log binning, values are binned by log10.
+  Histogram(double lo, double hi, std::size_t nbins, bool log_bins = false)
+      : lo_(log_bins ? std::log10(lo) : lo),
+        hi_(log_bins ? std::log10(hi) : hi),
+        log_(log_bins),
+        counts_(nbins, 0.0) {
+    if (nbins == 0 || !(hi_ > lo_)) throw std::invalid_argument("Histogram: bad bins");
+  }
+
+  void add(double x, double weight = 1.0) {
+    const double t = log_ ? std::log10(x) : x;
+    if (!(t >= lo_) || !(t < hi_)) return;  // silently drop out-of-range (incl. NaN)
+    const auto b = static_cast<std::size_t>((t - lo_) / (hi_ - lo_) * counts_.size());
+    counts_[b < counts_.size() ? b : counts_.size() - 1] += weight;
+    total_ += weight;
+  }
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] double count(std::size_t b) const { return counts_.at(b); }
+  [[nodiscard]] double totalWeight() const { return total_; }
+
+  /// Bin center in the original (non-log) coordinate.
+  [[nodiscard]] double center(std::size_t b) const {
+    const double t = lo_ + (b + 0.5) / counts_.size() * (hi_ - lo_);
+    return log_ ? std::pow(10.0, t) : t;
+  }
+
+  /// Probability mass function (sums to 1 if anything was binned).
+  [[nodiscard]] std::vector<double> pmf() const {
+    std::vector<double> p(counts_.size(), 0.0);
+    if (total_ > 0.0) {
+      for (std::size_t i = 0; i < p.size(); ++i) p[i] = counts_[i] / total_;
+    }
+    return p;
+  }
+
+  /// L1 distance between two histograms' PMFs (0 = identical, 2 = disjoint).
+  static double l1Distance(const Histogram& a, const Histogram& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("Histogram: size mismatch");
+    const auto pa = a.pmf(), pb = b.pmf();
+    double d = 0.0;
+    for (std::size_t i = 0; i < pa.size(); ++i) d += std::abs(pa[i] - pb[i]);
+    return d;
+  }
+
+ private:
+  double lo_, hi_;
+  bool log_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace asura::util

@@ -1,0 +1,85 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, splittable random number generation (PCG32).
+///
+/// Reproducibility across rank counts matters for the SPMD tests, so the
+/// simulation never uses std::mt19937 global state; every component owns a
+/// Pcg32 seeded from (seed, stream) pairs.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/vec3.hpp"
+
+namespace asura::util {
+
+/// Minimal PCG32 (O'Neill 2014) generator: 64-bit state, 32-bit output.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    nextU32();
+    state_ += seed;
+    nextU32();
+  }
+
+  std::uint32_t nextU32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint64_t nextU64() {
+    return (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return nextU32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>((static_cast<std::uint64_t>(nextU32()) * n) >> 32);
+  }
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double th = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(th);
+    has_cached_ = true;
+    return r * std::cos(th);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Isotropic unit vector.
+  Vec3d isotropic() {
+    const double c = uniform(-1.0, 1.0);
+    const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+    const double phi = uniform(0.0, 2.0 * std::numbers::pi);
+    return {s * std::cos(phi), s * std::sin(phi), c};
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+  std::uint64_t inc_ = 0;
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace asura::util

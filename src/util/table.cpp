@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace asura::util {
+
+void Table::setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void Table::addSeparator() { rows_.emplace_back(); }
+
+std::string Table::str() const {
+  // Determine column widths.
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c >= w.size()) w.resize(c + 1, 0);
+      w[c] = std::max(w[c], r[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  std::size_t total = 0;
+  for (auto x : w) total += x + 3;
+  const std::string bar(std::max<std::size_t>(total, title_.size() + 2), '=');
+  const std::string thin(bar.size(), '-');
+
+  os << bar << "\n" << title_ << "\n" << bar << "\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << r[c];
+      if (c + 1 < r.size()) os << std::string(w[c] - r[c].size() + 3, ' ');
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << thin << "\n";
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      os << thin << "\n";
+    } else {
+      emit(r);
+    }
+  }
+  os << bar << "\n";
+  if (!footnote_.empty()) os << footnote_ << "\n";
+  return os.str();
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmtSci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+std::string fmtInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace asura::util

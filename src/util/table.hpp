@@ -1,0 +1,39 @@
+#pragma once
+/// \file table.hpp
+/// \brief Plain-text table formatter used by the benchmark harnesses to
+/// print paper-style tables (Table 1-4) and figure series.
+
+#include <string>
+#include <vector>
+
+namespace asura::util {
+
+/// Column-aligned ASCII table with a title and optional footnote.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  void addSeparator();
+  void setFootnote(std::string note) { footnote_ = std::move(note); }
+
+  /// Render to a string (also used by tests to golden-check layout).
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Format helpers (fixed/scientific with significant digits).
+std::string fmt(double v, int prec = 3);
+std::string fmtSci(double v, int prec = 2);
+std::string fmtInt(long long v);
+
+}  // namespace asura::util

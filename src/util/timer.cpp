@@ -1,0 +1,50 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asura::util {
+
+double wtime() {
+  using clock = std::chrono::steady_clock;
+  static const auto t0 = clock::now();
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+void TimerRegistry::start(const std::string& name) {
+  auto& e = entries_[name];
+  if (e.order < 0) e.order = next_order_++;
+  e.started = wtime();
+}
+
+void TimerRegistry::stop(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.started < 0.0) {
+    throw std::logic_error("TimerRegistry::stop without start: " + name);
+  }
+  it->second.accum += wtime() - it->second.started;
+  it->second.started = -1.0;
+}
+
+double TimerRegistry::total(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0.0 : it->second.accum;
+}
+
+std::vector<std::pair<std::string, double>> TimerRegistry::entries() const {
+  std::vector<std::pair<std::string, int>> order;
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [k, v] : entries_) order.emplace_back(k, v.order);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  out.reserve(order.size());
+  for (const auto& [k, _] : order) out.emplace_back(k, entries_.at(k).accum);
+  return out;
+}
+
+void TimerRegistry::reset() {
+  entries_.clear();
+  next_order_ = 0;
+}
+
+}  // namespace asura::util

@@ -1,0 +1,55 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock timing with named categories.
+///
+/// Mirrors the paper's measurement methodology (§4.3): "We inserted
+/// MPI_Barrier and MPI_Wtime before and after critical routines" — the
+/// Simulation driver brackets every phase of the 8-step scheme with a
+/// TimerRegistry category so that the breakdown of Table 3 / Figs. 6-7 can
+/// be produced from real runs.
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asura::util {
+
+/// Monotonic wall-clock seconds (the MPI_Wtime equivalent).
+double wtime();
+
+/// Accumulates per-category elapsed time across a run.
+class TimerRegistry {
+ public:
+  void start(const std::string& name);
+  void stop(const std::string& name);
+  [[nodiscard]] double total(const std::string& name) const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> entries() const;
+  void reset();
+
+  /// RAII category bracket.
+  class Scope {
+   public:
+    Scope(TimerRegistry& reg, std::string name) : reg_(reg), name_(std::move(name)) {
+      reg_.start(name_);
+    }
+    ~Scope() { reg_.stop(name_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TimerRegistry& reg_;
+    std::string name_;
+  };
+
+ private:
+  struct Entry {
+    double accum = 0.0;
+    double started = -1.0;
+    int order = -1;  // first-start order, for stable reporting
+  };
+  std::map<std::string, Entry> entries_;
+  int next_order_ = 0;
+};
+
+}  // namespace asura::util

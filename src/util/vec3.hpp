@@ -1,0 +1,75 @@
+#pragma once
+/// \file vec3.hpp
+/// \brief Minimal 3-component vector used throughout the particle code.
+///
+/// The simulation stores positions/velocities in double precision (the
+/// paper's requirement: absolute coordinates span >5 orders of magnitude)
+/// while interaction kernels may downcast *relative* coordinates to float
+/// (mixed-precision scheme of paper §4.3).
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+#include <ostream>
+
+namespace asura::util {
+
+template <class T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T xx, T yy, T zz) : x(xx), y(yy), z(zz) {}
+  constexpr explicit Vec3(T s) : x(s), y(s), z(s) {}
+
+  /// Conversion between precisions (e.g. Vec3<double> -> Vec3<float>).
+  template <class U>
+  constexpr explicit Vec3(const Vec3<U>& o)
+      : x(static_cast<T>(o.x)), y(static_cast<T>(o.y)), z(static_cast<T>(o.z)) {}
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(T s) { return *this *= (T(1) / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, T s) { return a *= s; }
+  friend constexpr Vec3 operator*(T s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, T s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr T norm2() const { return dot(*this); }
+  T norm() const { return std::sqrt(norm2()); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+  }
+};
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+
+}  // namespace asura::util

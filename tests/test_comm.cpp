@@ -1,0 +1,283 @@
+// Tests for the SPMD message-passing substrate: point-to-point semantics,
+// collectives against sequential references, communicator split, and the
+// paper's 3-phase 3D-torus alltoallv (§3.4).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using asura::comm::Cluster;
+using asura::comm::Comm;
+using asura::comm::Op;
+using asura::comm::TorusTopology;
+
+TEST(Comm, SendRecvRoundTrip) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 7, {1, 2, 3});
+      const auto back = comm.recv<double>(1, 8);
+      ASSERT_EQ(back.size(), 2u);
+      EXPECT_DOUBLE_EQ(back[0], 2.5);
+    } else {
+      const auto v = comm.recv<int>(0, 7);
+      EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+      comm.send<double>(0, 8, {2.5, -1.0});
+    }
+  });
+}
+
+TEST(Comm, MessagesMatchedByTagInFifoOrder) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 5, {50});
+      comm.send<int>(1, 4, {40});
+      comm.send<int>(1, 5, {51});
+    } else {
+      // Tag 4 first although it was sent second; then tag-5 FIFO order.
+      EXPECT_EQ(comm.recv<int>(0, 4).at(0), 40);
+      EXPECT_EQ(comm.recv<int>(0, 5).at(0), 50);
+      EXPECT_EQ(comm.recv<int>(0, 5).at(0), 51);
+    }
+  });
+}
+
+TEST(Comm, EmptyMessage) {
+  Cluster cluster(2);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, {});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 1).empty());
+    }
+  });
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  Cluster cluster(8);
+  std::atomic<int> phase_counter{0};
+  cluster.run([&](Comm& comm) {
+    phase_counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all increments.
+    EXPECT_EQ(phase_counter.load(), 8);
+    comm.barrier();
+  });
+}
+
+TEST(Comm, RepeatedBarriers) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    for (int i = 0; i < 100; ++i) comm.barrier();
+  });
+}
+
+TEST(Comm, Bcast) {
+  Cluster cluster(5);
+  cluster.run([](Comm& comm) {
+    std::vector<int> v;
+    if (comm.rank() == 2) v = {10, 20, 30};
+    const auto out = comm.bcast(v, 2);
+    EXPECT_EQ(out, (std::vector<int>{10, 20, 30}));
+  });
+}
+
+TEST(Comm, AllreduceSumMinMax) {
+  Cluster cluster(6);
+  cluster.run([](Comm& comm) {
+    const int r = comm.rank();
+    EXPECT_EQ(comm.allreduce(r, Op::Sum), 15);
+    EXPECT_EQ(comm.allreduce(r, Op::Min), 0);
+    EXPECT_EQ(comm.allreduce(r, Op::Max), 5);
+    EXPECT_DOUBLE_EQ(comm.allreduce(0.5 * r, Op::Sum), 7.5);
+  });
+}
+
+TEST(Comm, Allgather) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * comm.rank());
+    EXPECT_EQ(all, (std::vector<int>{0, 1, 4, 9}));
+  });
+}
+
+TEST(Comm, AllgathervVariableSizes) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()), comm.rank());
+    const auto parts = comm.allgatherv(mine);
+    ASSERT_EQ(parts.size(), 4u);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(parts[s].size(), static_cast<std::size_t>(s));
+      for (int x : parts[s]) EXPECT_EQ(x, s);
+    }
+  });
+}
+
+TEST(Comm, AlltoallvMatrixTranspose) {
+  // alltoallv semantics: out[s] == what s put in send[me].
+  const int P = 6;
+  Cluster cluster(P);
+  cluster.run([P](Comm& comm) {
+    std::vector<std::vector<int>> send(P);
+    for (int d = 0; d < P; ++d) send[d] = {100 * comm.rank() + d};
+    const auto out = comm.alltoallv(send);
+    for (int s = 0; s < P; ++s) {
+      ASSERT_EQ(out[s].size(), 1u);
+      EXPECT_EQ(out[s][0], 100 * s + comm.rank());
+    }
+  });
+}
+
+TEST(Comm, SplitByParity) {
+  Cluster cluster(6);
+  cluster.run([](Comm& comm) {
+    Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // Collectives work on the sub-communicator and don't leak across colors.
+    const int sum = sub.allreduce(comm.rank(), Op::Sum);
+    EXPECT_EQ(sum, comm.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5);
+    sub.barrier();
+  });
+}
+
+TEST(Comm, SplitRankOrderFollowsKey) {
+  Cluster cluster(4);
+  cluster.run([](Comm& comm) {
+    // Reverse order via key.
+    Comm sub = comm.split(0, -comm.rank());
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Comm, ExceptionInRankPropagates) {
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("rank 1 died");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, TrafficCountersGrow) {
+  Cluster cluster(3);
+  cluster.resetTraffic();
+  cluster.run([](Comm& comm) {
+    (void)comm.allgather(comm.rank());
+  });
+  const auto t = cluster.traffic();
+  EXPECT_GT(t.messages, 0u);
+  EXPECT_GT(t.bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 3D torus alltoallv
+// ---------------------------------------------------------------------------
+
+TEST(Torus, Factor3ProducesNearCubes) {
+  int px = 0, py = 0, pz = 0;
+  asura::comm::factor3(8, px, py, pz);
+  EXPECT_EQ(px * py * pz, 8);
+  EXPECT_EQ(px, 2);
+  EXPECT_EQ(pz, 2);
+  asura::comm::factor3(64, px, py, pz);
+  EXPECT_EQ(px * py * pz, 64);
+  EXPECT_EQ(px, 4);
+  asura::comm::factor3(12, px, py, pz);
+  EXPECT_EQ(px * py * pz, 12);
+  EXPECT_LE(pz, py);
+  EXPECT_LE(py, px);
+  asura::comm::factor3(7, px, py, pz);
+  EXPECT_EQ(px * py * pz, 7);
+}
+
+class TorusAlltoallvTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TorusAlltoallvTest, MatchesFlatAlltoallv) {
+  const auto [px, py, pz] = GetParam();
+  const int P = px * py * pz;
+  Cluster cluster(P);
+  cluster.run([&](Comm& comm) {
+    TorusTopology torus(comm, px, py, pz);
+    asura::util::Pcg32 rng(123, static_cast<std::uint64_t>(comm.rank()));
+    // Random-size random-content payloads to every destination.
+    std::vector<std::vector<double>> send(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      const std::size_t n = rng.below(16);
+      for (std::size_t i = 0; i < n; ++i) {
+        send[static_cast<std::size_t>(d)].push_back(100.0 * comm.rank() + d + 0.25 * i);
+      }
+    }
+    const auto via_torus = torus.alltoallv3d(send);
+    const auto via_flat = comm.alltoallv(send);
+    ASSERT_EQ(via_torus.size(), via_flat.size());
+    for (std::size_t s = 0; s < via_flat.size(); ++s) {
+      EXPECT_EQ(via_torus[s], via_flat[s]) << "source " << s;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusAlltoallvTest,
+                         ::testing::Values(std::tuple{2, 2, 2}, std::tuple{3, 2, 1},
+                                           std::tuple{4, 2, 2}, std::tuple{3, 3, 3},
+                                           std::tuple{1, 1, 1}, std::tuple{5, 1, 1}));
+
+TEST(Torus, CoordinateMapping) {
+  Cluster cluster(12);
+  cluster.run([](Comm& comm) {
+    TorusTopology torus(comm, 3, 2, 2);
+    EXPECT_EQ(TorusTopology::rankOf(torus.coordX(), torus.coordY(), torus.coordZ(), 3, 2),
+              comm.rank());
+  });
+}
+
+TEST(Torus, MismatchedShapeThrows) {
+  Cluster cluster(4);
+  EXPECT_THROW(cluster.run([](Comm& comm) { TorusTopology torus(comm, 3, 1, 1); }),
+               std::invalid_argument);
+}
+
+TEST(Torus, PhaseLocalityReducesMessageFanout) {
+  // Each rank should only ever send point-to-point messages to ranks within
+  // its three torus lines: fan-out per phase is p^{1/3}-ish, not p.
+  // We verify indirectly: total message count of torus alltoallv across all
+  // ranks is <= 3 * P * max(px,py,pz) while flat alltoallv is P*(P-1).
+  const int px = 4, py = 4, pz = 4;
+  const int P = px * py * pz;
+  Cluster cluster(P);
+
+  cluster.resetTraffic();
+  cluster.run([&](Comm& comm) {
+    TorusTopology torus(comm, px, py, pz);
+    cluster.resetTraffic();  // ignore split() setup traffic
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)] = {comm.rank()};
+    (void)torus.alltoallv3d(send);
+  });
+  const auto torus_traffic = cluster.traffic();
+
+  cluster.resetTraffic();
+  cluster.run([&](Comm& comm) {
+    std::vector<std::vector<int>> send(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)] = {comm.rank()};
+    (void)comm.alltoallv(send);
+  });
+  const auto flat_traffic = cluster.traffic();
+
+  EXPECT_LE(torus_traffic.messages, static_cast<std::uint64_t>(3 * P * (px - 1)));
+  EXPECT_EQ(flat_traffic.messages, static_cast<std::uint64_t>(P) * (P - 1));
+  EXPECT_LT(torus_traffic.messages, flat_traffic.messages);
+}
+
+}  // namespace

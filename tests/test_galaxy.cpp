@@ -1,0 +1,224 @@
+// Tests for the Model MW initial conditions: analytic profiles, rotation
+// curve magnitude, component masses/geometry of the sampled realization, and
+// determinism of the per-domain generation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "galaxy/galaxy.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using asura::fdps::Particle;
+using asura::fdps::Species;
+using asura::galaxy::GalaxyModel;
+using asura::galaxy::IcCounts;
+using asura::util::Vec3d;
+
+TEST(Model, PaperComponentMasses) {
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  EXPECT_DOUBLE_EQ(mw.m_halo, 1.1e12);
+  EXPECT_DOUBLE_EQ(mw.m_disk_star, 5.4e10);
+  EXPECT_DOUBLE_EQ(mw.m_disk_gas, 1.2e10);
+  // ~1.2e12 total (Table 1: M_tot).
+  EXPECT_NEAR(mw.totalMass(), 1.166e12, 1e10);
+
+  const GalaxyModel small = GalaxyModel::milkyWaySmall();
+  EXPECT_NEAR(small.totalMass() / mw.totalMass(), 0.1, 1e-12);
+  const GalaxyModel mini = GalaxyModel::milkyWayMini();
+  EXPECT_NEAR(mini.totalMass() / mw.totalMass(), 0.01, 1e-12);
+}
+
+TEST(Model, HaloProfileIntegratesToTotalMass) {
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  EXPECT_NEAR(mw.haloMassEnclosed(mw.r_trunc), mw.m_halo, 1e-6 * mw.m_halo);
+  EXPECT_NEAR(mw.haloMassEnclosed(10.0 * mw.r_trunc), mw.m_halo, 1e-6 * mw.m_halo);
+  // Monotone increasing.
+  double prev = 0.0;
+  for (double r = 100.0; r < mw.r_trunc; r *= 2.0) {
+    const double m = mw.haloMassEnclosed(r);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Model, InnerHaloIsRMinusOneCusp) {
+  // "in the central region, the density increases with ∝ r^-1" (paper §4.2).
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  const double r1 = 0.01 * mw.r_scale, r2 = 0.02 * mw.r_scale;
+  const double slope = std::log(mw.haloDensity(r2) / mw.haloDensity(r1)) / std::log(r2 / r1);
+  EXPECT_NEAR(slope, -1.0, 0.1);
+}
+
+TEST(Model, RotationCurveIsMilkyWayLike) {
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  // v_c at the solar radius (8 kpc) ~ 220 km/s.
+  const double vc = asura::units::code_to_kms(mw.vCirc(8000.0));
+  EXPECT_GT(vc, 160.0);
+  EXPECT_LT(vc, 280.0);
+  // Roughly flat outer curve: within a factor ~1.5 from 5 to 20 kpc.
+  const double v5 = mw.vCirc(5000.0), v20 = mw.vCirc(20000.0);
+  EXPECT_LT(std::max(v5, v20) / std::min(v5, v20), 1.5);
+}
+
+TEST(Model, HaloSigmaReasonable) {
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  const double s_in = mw.haloSigma(5000.0);
+  const double s_out = mw.haloSigma(150000.0);
+  EXPECT_GT(asura::units::code_to_kms(s_in), 50.0);
+  EXPECT_LT(asura::units::code_to_kms(s_in), 400.0);
+  EXPECT_GT(s_in, s_out);  // dispersion falls outward
+}
+
+class GalaxyRealization : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GalaxyModel model = GalaxyModel::milkyWayMini();
+    IcCounts counts;
+    counts.n_dm = 20000;
+    counts.n_star = 10000;
+    counts.n_gas = 8000;
+    counts.seed = 42;
+    parts_ = new std::vector<Particle>(asura::galaxy::generateGalaxy(model, counts));
+    model_ = new GalaxyModel(model);
+  }
+  static void TearDownTestSuite() {
+    delete parts_;
+    delete model_;
+    parts_ = nullptr;
+    model_ = nullptr;
+  }
+  static std::vector<Particle>* parts_;
+  static GalaxyModel* model_;
+};
+
+std::vector<Particle>* GalaxyRealization::parts_ = nullptr;
+GalaxyModel* GalaxyRealization::model_ = nullptr;
+
+TEST_F(GalaxyRealization, CountsAndMassesMatchComponents) {
+  std::size_t n_dm = 0, n_star = 0, n_gas = 0;
+  double m_dm = 0.0, m_star = 0.0, m_gas = 0.0;
+  for (const auto& p : *parts_) {
+    switch (p.type) {
+      case Species::DarkMatter: ++n_dm; m_dm += p.mass; break;
+      case Species::Star: ++n_star; m_star += p.mass; break;
+      case Species::Gas: ++n_gas; m_gas += p.mass; break;
+    }
+  }
+  EXPECT_EQ(n_dm, 20000u);
+  EXPECT_EQ(n_star, 10000u);
+  EXPECT_EQ(n_gas, 8000u);
+  EXPECT_NEAR(m_dm, model_->m_halo, 1e-6 * model_->m_halo);
+  EXPECT_NEAR(m_star, model_->m_disk_star, 1e-6 * model_->m_disk_star);
+  EXPECT_NEAR(m_gas, model_->m_disk_gas, 1e-6 * model_->m_disk_gas);
+}
+
+TEST_F(GalaxyRealization, UniqueIds) {
+  std::set<std::uint64_t> ids;
+  for (const auto& p : *parts_) EXPECT_TRUE(ids.insert(p.id).second);
+}
+
+TEST_F(GalaxyRealization, HaloHalfMassRadiusMatchesProfile) {
+  // Median DM radius == radius enclosing half the halo mass.
+  std::vector<double> radii;
+  for (const auto& p : *parts_) {
+    if (p.isDm()) radii.push_back(p.pos.norm());
+  }
+  std::sort(radii.begin(), radii.end());
+  const double r_half = radii[radii.size() / 2];
+  // Invert analytically.
+  double lo = 10.0, hi = model_->r_trunc;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (model_->haloMassEnclosed(mid) < 0.5 * model_->m_halo ? lo : hi) = mid;
+  }
+  EXPECT_NEAR(r_half / lo, 1.0, 0.1);
+}
+
+TEST_F(GalaxyRealization, DisksAreThinAndRotating) {
+  double star_z = 0.0, star_R = 0.0;
+  double vphi_sum = 0.0, vc_sum = 0.0;
+  int n_star = 0;
+  for (const auto& p : *parts_) {
+    if (!p.isStar()) continue;
+    const double R = std::sqrt(p.pos.x * p.pos.x + p.pos.y * p.pos.y);
+    star_z += std::abs(p.pos.z);
+    star_R += R;
+    if (R > 10.0) {
+      // Tangential velocity (right-handed rotation about +z).
+      vphi_sum += (p.pos.x * p.vel.y - p.pos.y * p.vel.x) / R;
+      vc_sum += model_->vCirc(R);
+    }
+    ++n_star;
+  }
+  star_z /= n_star;
+  star_R /= n_star;
+  EXPECT_LT(star_z, 0.25 * star_R);                    // thin disk
+  EXPECT_GT(vphi_sum / vc_sum, 0.85);                  // rotation-supported
+  EXPECT_LT(vphi_sum / vc_sum, 1.15);
+  // Mean radius of an exponential disk is 2 Rd.
+  EXPECT_NEAR(star_R, 2.0 * model_->r_d, 0.3 * model_->r_d);
+}
+
+TEST_F(GalaxyRealization, GasDiskColdRotatingWithValidSphState) {
+  int n = 0;
+  double vphi = 0.0, vc = 0.0;
+  for (const auto& p : *parts_) {
+    if (!p.isGas()) continue;
+    EXPECT_GT(p.u, 0.0);
+    EXPECT_GT(p.h, 0.0);
+    EXPECT_GT(p.rho, 0.0);
+    const double R = std::sqrt(p.pos.x * p.pos.x + p.pos.y * p.pos.y);
+    if (R > 10.0) {
+      vphi += (p.pos.x * p.vel.y - p.pos.y * p.vel.x) / R;
+      vc += model_->vCirc(R);
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 1000);
+  // Pressure-gradient corrected rotation is slightly sub-circular.
+  EXPECT_GT(vphi / vc, 0.7);
+  EXPECT_LE(vphi / vc, 1.01);
+}
+
+TEST(GalaxySlices, DeterministicAndPartitioning) {
+  GalaxyModel model = GalaxyModel::milkyWayMini();
+  IcCounts counts;
+  counts.n_dm = 3000;
+  counts.n_star = 2000;
+  counts.n_gas = 1000;
+  counts.seed = 7;
+
+  const auto all = asura::galaxy::generateGalaxy(model, counts);
+  const auto all_again = asura::galaxy::generateGalaxy(model, counts);
+  ASSERT_EQ(all.size(), all_again.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, all_again[i].id);
+    EXPECT_EQ(all[i].pos, all_again[i].pos);
+  }
+
+  std::size_t total = 0;
+  std::set<std::uint64_t> seen;
+  for (int r = 0; r < 4; ++r) {
+    const auto slice = asura::galaxy::generateGalaxySlice(model, counts, r, 4);
+    total += slice.size();
+    for (const auto& p : slice) EXPECT_TRUE(seen.insert(p.id).second);
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(GalaxyScaling, ResolutionTable) {
+  // Table 1 "This work": m_star = M_star / N_star = 5.4e10 / 7.2e10 = 0.75,
+  // and Table 2 weakMW2M: m_DM = 1.1e12 / 1.8e11 = 6.0.
+  const GalaxyModel mw = GalaxyModel::milkyWay();
+  const double n_star_paper = 7.2e10;
+  EXPECT_NEAR(mw.m_disk_star / n_star_paper, 0.75, 0.05);
+  const double n_dm_paper = 1.8e11;
+  EXPECT_NEAR(mw.m_halo / n_dm_paper, 6.0, 0.2);  // Table 2: m_DM = 6.0
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Tests of the performance model: anchor fidelity (Table 3), weak/strong
+// scaling shapes (Figs. 6-7), machine specs, and the §5.3 time-to-solution
+// arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perf/machines.hpp"
+#include "perf/scaling.hpp"
+
+namespace {
+
+using asura::perf::BreakdownModel;
+using asura::perf::RunPoint;
+
+TEST(Machines, PaperSpecs) {
+  const auto f = asura::perf::fugaku();
+  EXPECT_EQ(f.max_nodes, 158976);
+  EXPECT_EQ(f.cores_per_node, 48);
+  // 915 PF single-precision peak for the 148,896-node run (Table 3 header).
+  EXPECT_NEAR(f.peakSystemPflops(148896, true), 915.0, 1.0);
+
+  const auto r = asura::perf::rusty();
+  // Table 3: 193 nodes, peak 2.43 PFLOPS.
+  EXPECT_NEAR(r.peakSystemPflops(193, true), 2.43, 0.02);
+
+  const auto m = asura::perf::miyabi();
+  // Table 3: 1024 nodes, 68.5 PFLOPS (GPU SP for gravity).
+  EXPECT_NEAR(m.peakSystemPflops(1024, true) / 2.0, 68.5, 0.5);
+}
+
+TEST(BreakdownModelTest, CategoriesMatchFigureLegend) {
+  const auto& cats = asura::perf::breakdownCategories();
+  EXPECT_EQ(cats.size(), 18u);
+  EXPECT_EQ(cats.front(), "Total");
+  EXPECT_EQ(cats[8], "1st Exchange_LET");
+}
+
+TEST(BreakdownModelTest, AnchorReproducesTable3) {
+  const auto model = BreakdownModel::forFugaku();
+  const auto t = model.evaluate(model.anchor());
+  // Table 3 measured rows are exact at the anchor by construction.
+  EXPECT_NEAR(t.at("Exchange_Particle"), 3.87, 1e-9);
+  EXPECT_NEAR(t.at("1st Exchange_LET"), 3.89, 1e-9);
+  EXPECT_NEAR(t.at("1st Make_Local_Tree"), 0.96, 1e-9);
+  EXPECT_NEAR(t.at("1st Calc_Force"), 1.97, 1e-9);
+  EXPECT_NEAR(t.at("1st Calc_Kernel_Size_and_Density"), 3.18, 1e-9);
+  EXPECT_NEAR(t.at("Total"), 20.34, 0.05);
+}
+
+TEST(BreakdownModelTest, WeakScalingShapes) {
+  const auto model = BreakdownModel::forFugaku();
+  const auto series = model.weakScaling({128, 1024, 8192, 65536, 148896}, 2.0e6);
+
+  // Total grows monotonically (log N compute drift + p^{1/3} comm growth).
+  double prev = 0.0;
+  for (const auto& [run, t] : series) {
+    EXPECT_GT(t.at("Total"), prev);
+    prev = t.at("Total");
+  }
+
+  // Paper: "the efficiency of 148k nodes is 54 % of 128 nodes" counting the
+  // log N factor. Raw total ratio must land in that neighbourhood.
+  const double t128 = series.front().second.at("Total");
+  const double t148k = series.back().second.at("Total");
+  EXPECT_NEAR(t128 / t148k, 0.54, 0.15);
+
+  // Communication categories grow much faster than compute categories.
+  const double let_ratio = series.back().second.at("1st Exchange_LET") /
+                           series.front().second.at("1st Exchange_LET");
+  const double force_ratio = series.back().second.at("1st Calc_Force") /
+                             series.front().second.at("1st Calc_Force");
+  EXPECT_GT(let_ratio, 3.0 * force_ratio);
+}
+
+TEST(BreakdownModelTest, StrongScalingHasCommBoundTail) {
+  const auto model = BreakdownModel::forFugaku();
+  const auto series =
+      model.strongScaling({4096, 8192, 16384, 40608}, 1.5e11);
+
+  // Compute categories shrink ~1/p; communication categories decay far
+  // slower (latency grows with p^{1/3} while volume shrinks) so they take
+  // over the budget — the paper's §5.2.3 observation.
+  const auto& first = series.front().second;
+  const auto& last = series.back().second;
+  EXPECT_LT(last.at("1st Calc_Force"), first.at("1st Calc_Force") / 5.0);
+  EXPECT_GT(last.at("1st Exchange_LET"), 0.4 * first.at("1st Exchange_LET"));
+  // Communication share of the total grows toward the tail.
+  auto comm_share = [](const std::map<std::string, double>& t) {
+    return (t.at("1st Exchange_LET") + t.at("2nd Exchange_LET") +
+            t.at("Exchange_Particle")) /
+           t.at("Total");
+  };
+  EXPECT_GT(comm_share(last), comm_share(first));
+}
+
+TEST(BreakdownModelTest, RustyAnchoredToMeasuredKernels) {
+  const auto model = BreakdownModel::forRusty();
+  const auto t = model.evaluate(model.anchor());
+  // Table 3 Rusty: gravity 138 s + hydro 18.4 s at 193 nodes.
+  EXPECT_NEAR(t.at("1st Calc_Force"), 156.4, 1e-6);
+  // Weak scaling stays finite and ordered on the smaller machine.
+  const auto series = model.weakScaling({11, 43, 96, 193}, 1.2e9);
+  double prev = 0.0;
+  for (const auto& [run, tt] : series) {
+    EXPECT_GT(tt.at("Total"), prev);
+    prev = tt.at("Total");
+  }
+}
+
+TEST(BreakdownModelTest, InvalidRunRejected) {
+  const auto model = BreakdownModel::forFugaku();
+  EXPECT_THROW(model.evaluate({0, 1e6}), std::invalid_argument);
+  EXPECT_THROW(model.evaluate({128, -1.0}), std::invalid_argument);
+}
+
+TEST(TimeToSolution, PaperArithmetic) {
+  asura::perf::TimeToSolution tts;
+  // §5.3: 5e5 steps for 1e9 yr at 2,000 yr/step; 10 s/step -> ~60 days.
+  tts.sec_per_step = 10.0;
+  EXPECT_NEAR(tts.hoursFor(1000.0) / 24.0, 58.0, 2.0);
+
+  // 20 s per step -> 2.78 h for 1 Myr.
+  tts.sec_per_step = 20.0;
+  EXPECT_NEAR(tts.hoursFor(1.0), 2.78, 0.05);
+
+  // Conventional estimate: (3e11/1.5e8)^{4/3} * 0.0125 h ~ 315 h per Myr.
+  EXPECT_NEAR(asura::perf::TimeToSolution::conventionalHoursFor(1.0, 3.0e11), 315.0,
+              10.0);
+
+  // => ~113x speedup.
+  EXPECT_NEAR(tts.speedupVsConventional(), 113.0, 6.0);
+}
+
+}  // namespace

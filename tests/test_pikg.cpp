@@ -1,0 +1,236 @@
+// PIKG tests: piecewise-polynomial approximation quality, DSL validation,
+// generated-code structure, and numerical equivalence of the generated
+// scalar/AVX2/AVX-512 gravity kernels (compiled at build time by pikg_gen)
+// against a double-precision reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pikg/dsl.hpp"
+#include "pikg/ppa.hpp"
+#include "pikg_gravity.hpp"  // build-time generated
+#include "sph/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using asura::pikg::KernelDef;
+using asura::pikg::PiecewisePolynomial;
+using asura::util::Pcg32;
+
+// ---------------------------------------------------------------------------
+// PPA
+// ---------------------------------------------------------------------------
+
+TEST(Ppa, ReproducesPolynomialExactly) {
+  auto f = [](double x) { return 3.0 - 2.0 * x + 0.5 * x * x; };
+  const auto p = PiecewisePolynomial::fit(f, 0.0, 2.0, 4, 2);
+  EXPECT_LT(p.maxError(f), 1e-12);
+}
+
+class PpaAccuracy : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PpaAccuracy, ErrorShrinksWithTableSize) {
+  const auto [m, n] = GetParam();
+  auto f = [](double x) { return std::exp(-x) * std::sin(3.0 * x); };
+  const auto p = PiecewisePolynomial::fit(f, 0.0, 2.0, m, n);
+  // Chebyshev-node interpolation error bound ~ (d/4)^{n+1} * max|f^{(n+1)}|/(n+1)!
+  const double d = 2.0 / m;
+  const double bound = 40.0 * std::pow(d / 4.0, n + 1);
+  EXPECT_LT(p.maxError(f), bound) << "m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PpaAccuracy,
+                         ::testing::Combine(::testing::Values(4, 16, 64),
+                                            ::testing::Values(2, 3, 5)));
+
+TEST(Ppa, SphKernelApproximationTightEnoughForTable4) {
+  // The production setting: approximate the cubic-spline W(q) shape on its
+  // support; a 16x4 table is plenty for single precision.
+  auto f = [](double q) { return asura::sph::CubicSplineKernel::w(q, 1.0); };
+  const auto p = PiecewisePolynomial::fit(f, 0.0, 1.0, 16, 4);
+  const double w0 = f(0.0);
+  EXPECT_LT(p.maxError(f) / w0, 2e-6);
+}
+
+TEST(Ppa, EvalBatchMatchesScalar) {
+  auto f = [](double x) { return std::cos(5.0 * x) / (1.0 + x); };
+  const auto p = PiecewisePolynomial::fit(f, 0.0, 3.0, 24, 4);
+  Pcg32 rng(5);
+  std::vector<float> xs(1003), out(1003);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(0.0, 3.0));
+  p.evalBatch(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(out[i], p.eval(xs[i]), 2e-5 * (1.0 + std::abs(p.eval(xs[i]))));
+  }
+}
+
+TEST(Ppa, CoefficientCountMatchesPaperFormula) {
+  // "m(n+1) coefficients of the polynomials are needed."
+  const auto p = PiecewisePolynomial::fit([](double x) { return x; }, 0.0, 1.0, 7, 3);
+  EXPECT_EQ(p.table().size(), 7u * 4u);
+}
+
+TEST(Ppa, InvalidParamsThrow) {
+  auto f = [](double x) { return x; };
+  EXPECT_THROW(PiecewisePolynomial::fit(f, 1.0, 0.0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(PiecewisePolynomial::fit(f, 0.0, 1.0, 0, 2), std::invalid_argument);
+  EXPECT_THROW(PiecewisePolynomial::fit(f, 0.0, 1.0, 4, 9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DSL / code generation
+// ---------------------------------------------------------------------------
+
+TEST(Dsl, GravityKernelValidates) {
+  EXPECT_NO_THROW(asura::pikg::validate(asura::pikg::makeGravityKernel()));
+  EXPECT_EQ(asura::pikg::makeGravityKernel().flops_per_interaction, 27);
+}
+
+TEST(Dsl, SsaViolationDetected) {
+  auto def = asura::pikg::makeGravityKernel();
+  def.body.push_back({"dx", "add", "dx", "dy", ""});  // redefinition
+  EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
+}
+
+TEST(Dsl, UndefinedOperandDetected) {
+  auto def = asura::pikg::makeGravityKernel();
+  def.body.push_back({"oops", "add", "no_such_var", "dx", ""});
+  EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
+}
+
+TEST(Dsl, GeneratedSourcesContainExpectedBackends) {
+  const auto def = asura::pikg::makeGravityKernel();
+  const std::string scalar = asura::pikg::generateScalar(def);
+  EXPECT_NE(scalar.find("grav_scalar"), std::string::npos);
+  EXPECT_NE(scalar.find("1.0f / std::sqrt"), std::string::npos);
+
+  const std::string avx2 = asura::pikg::generateAvx2(def);
+  EXPECT_NE(avx2.find("_mm256_fmadd_ps"), std::string::npos);
+  EXPECT_NE(avx2.find("_mm256_rsqrt_ps"), std::string::npos);
+  EXPECT_NE(avx2.find("AoS -> SoA"), std::string::npos);
+
+  const std::string avx512 = asura::pikg::generateAvx512(def);
+  EXPECT_NE(avx512.find("_mm512_rsqrt14_ps"), std::string::npos);
+  EXPECT_NE(avx512.find("__AVX512F__"), std::string::npos);
+
+  const std::string header = asura::pikg::generateHeader(def);
+  EXPECT_NE(header.find("grav_best"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Generated kernel numerics (the header compiled from pikg_gen output)
+// ---------------------------------------------------------------------------
+
+struct RefResult {
+  double ax, ay, az, pot;
+};
+
+std::vector<RefResult> referenceGravity(const std::vector<pikg_generated::GravEpi>& epi,
+                                        const std::vector<pikg_generated::GravEpj>& epj) {
+  std::vector<RefResult> out(epi.size(), {0, 0, 0, 0});
+  for (std::size_t i = 0; i < epi.size(); ++i) {
+    for (const auto& j : epj) {
+      const double dx = epi[i].x - j.x;
+      const double dy = epi[i].y - j.y;
+      const double dz = epi[i].z - j.z;
+      const double r2 = dx * dx + dy * dy + dz * dz + epi[i].eps2 + j.eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double mr3 = j.m * rinv * rinv * rinv;
+      out[i].ax -= mr3 * dx;
+      out[i].ay -= mr3 * dy;
+      out[i].az -= mr3 * dz;
+      out[i].pot -= j.m * rinv;
+    }
+  }
+  return out;
+}
+
+class GeneratedKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Pcg32 rng(77);
+    epi.resize(100);
+    epj.resize(237);
+    for (auto& p : epi) {
+      p.x = static_cast<float>(rng.uniform(-10, 10));
+      p.y = static_cast<float>(rng.uniform(-10, 10));
+      p.z = static_cast<float>(rng.uniform(-10, 10));
+      p.eps2 = 0.01f;
+    }
+    for (auto& p : epj) {
+      p.x = static_cast<float>(rng.uniform(-10, 10));
+      p.y = static_cast<float>(rng.uniform(-10, 10));
+      p.z = static_cast<float>(rng.uniform(-10, 10));
+      p.m = static_cast<float>(rng.uniform(0.5, 2.0));
+      p.eps2 = 0.01f;
+    }
+    ref = referenceGravity(epi, epj);
+  }
+
+  void expectClose(const std::vector<pikg_generated::GravForce>& f, double tol) const {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double scale = std::sqrt(ref[i].ax * ref[i].ax + ref[i].ay * ref[i].ay +
+                                     ref[i].az * ref[i].az) +
+                           1e-6;
+      EXPECT_NEAR(f[i].ax, ref[i].ax, tol * scale) << i;
+      EXPECT_NEAR(f[i].ay, ref[i].ay, tol * scale) << i;
+      EXPECT_NEAR(f[i].az, ref[i].az, tol * scale) << i;
+      EXPECT_NEAR(f[i].pot, ref[i].pot, tol * std::abs(ref[i].pot) + 1e-6) << i;
+    }
+  }
+
+  std::vector<pikg_generated::GravEpi> epi;
+  std::vector<pikg_generated::GravEpj> epj;
+  std::vector<RefResult> ref;
+};
+
+TEST_F(GeneratedKernelTest, ScalarMatchesReference) {
+  std::vector<pikg_generated::GravForce> f(epi.size(), {0, 0, 0, 0});
+  pikg_generated::grav_scalar(epi.data(), static_cast<int>(epi.size()), epj.data(),
+                              static_cast<int>(epj.size()), f.data());
+  expectClose(f, 1e-4);
+}
+
+#ifdef __AVX2__
+TEST_F(GeneratedKernelTest, Avx2MatchesReference) {
+  std::vector<pikg_generated::GravForce> f(epi.size(), {0, 0, 0, 0});
+  pikg_generated::grav_avx2(epi.data(), static_cast<int>(epi.size()), epj.data(),
+                            static_cast<int>(epj.size()), f.data());
+  expectClose(f, 2e-4);
+}
+#endif
+
+#ifdef __AVX512F__
+TEST_F(GeneratedKernelTest, Avx512MatchesReference) {
+  std::vector<pikg_generated::GravForce> f(epi.size(), {0, 0, 0, 0});
+  pikg_generated::grav_avx512(epi.data(), static_cast<int>(epi.size()), epj.data(),
+                              static_cast<int>(epj.size()), f.data());
+  expectClose(f, 2e-4);
+}
+#endif
+
+TEST_F(GeneratedKernelTest, BestDispatchMatchesReference) {
+  std::vector<pikg_generated::GravForce> f(epi.size(), {0, 0, 0, 0});
+  pikg_generated::grav_best(epi.data(), static_cast<int>(epi.size()), epj.data(),
+                            static_cast<int>(epj.size()), f.data());
+  expectClose(f, 2e-4);
+}
+
+TEST_F(GeneratedKernelTest, RemainderLoopHandlesOddCounts) {
+  // ni not a multiple of the SIMD width exercises the scalar tail.
+  for (int ni : {1, 7, 9, 15, 17, 31}) {
+    std::vector<pikg_generated::GravForce> f(static_cast<std::size_t>(ni), {0, 0, 0, 0});
+    pikg_generated::grav_best(epi.data(), ni, epj.data(), static_cast<int>(epj.size()),
+                              f.data());
+    for (int i = 0; i < ni; ++i) {
+      const double scale = std::abs(ref[static_cast<std::size_t>(i)].pot) + 1e-6;
+      EXPECT_NEAR(f[static_cast<std::size_t>(i)].pot, ref[static_cast<std::size_t>(i)].pot,
+                  2e-4 * scale);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Unit tests for asura::util — vectors, units, RNG, histograms, tables,
+// timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/units.hpp"
+#include "util/vec3.hpp"
+
+namespace {
+
+using asura::util::Histogram;
+using asura::util::Pcg32;
+using asura::util::Vec3d;
+using asura::util::Vec3f;
+
+TEST(Vec3, ArithmeticBasics) {
+  const Vec3d a{1.0, 2.0, 3.0};
+  const Vec3d b{-4.0, 5.0, 0.5};
+  EXPECT_EQ(a + b, Vec3d(-3.0, 7.0, 3.5));
+  EXPECT_EQ(a - b, Vec3d(5.0, -3.0, 2.5));
+  EXPECT_EQ(a * 2.0, Vec3d(2.0, 4.0, 6.0));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_EQ(-a, Vec3d(-1.0, -2.0, -3.0));
+  EXPECT_DOUBLE_EQ((a / 2.0).x, 0.5);
+}
+
+TEST(Vec3, DotCrossNorm) {
+  const Vec3d a{1.0, 0.0, 0.0};
+  const Vec3d b{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_EQ(a.cross(b), Vec3d(0.0, 0.0, 1.0));
+  EXPECT_DOUBLE_EQ(Vec3d(3.0, 4.0, 0.0).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3d(3.0, 4.0, 12.0).norm2(), 169.0);
+}
+
+TEST(Vec3, IndexingAndPrecisionConversion) {
+  Vec3d a{1.5, 2.5, 3.5};
+  a[0] = 9.0;
+  EXPECT_DOUBLE_EQ(a.x, 9.0);
+  EXPECT_DOUBLE_EQ(a[2], 3.5);
+  const Vec3f f{a};
+  EXPECT_FLOAT_EQ(f.x, 9.0f);
+}
+
+TEST(Units, GravitationalConstantRoundTrip) {
+  // G in SI from the code value: G_code * pc^3 / (Msun * Myr^2).
+  const double G_si = asura::units::G * std::pow(asura::units::pc_in_m, 3) /
+                      (asura::units::msun_in_kg * std::pow(asura::units::myr_in_s, 2));
+  EXPECT_NEAR(G_si, 6.674e-11, 0.01e-11);
+}
+
+TEST(Units, VelocityUnit) {
+  // pc/Myr in km/s.
+  const double v = asura::units::pc_in_m / asura::units::myr_in_s / 1000.0;
+  EXPECT_NEAR(v, asura::units::velocity_in_kms, 1e-3);
+}
+
+TEST(Units, TemperatureEnergyRoundTrip) {
+  for (double T : {10.0, 1.0e4, 1.0e7}) {
+    const double u = asura::units::temperature_to_u(T, 0.6);
+    EXPECT_NEAR(asura::units::u_to_temperature(u, 0.6), T, T * 1e-12);
+  }
+}
+
+TEST(Units, TenKelvinGasIsSubKmPerSec) {
+  // Sound speed of 10 K molecular gas ~ 0.3 km/s: sanity for star-forming gas.
+  const double u = asura::units::temperature_to_u(10.0, asura::units::mu_neutral);
+  const double cs =
+      std::sqrt(asura::units::gamma_gas * (asura::units::gamma_gas - 1.0) * u);
+  EXPECT_LT(asura::units::code_to_kms(cs), 1.0);
+  EXPECT_GT(asura::units::code_to_kms(cs), 0.1);
+}
+
+TEST(Units, SnEnergyMagnitude) {
+  // 1e51 erg given to 100 Msun of gas -> specific energy ~ 5e8 pc^2/Myr^2
+  // -> temperature of order 1e7-1e8 K plausible for mu=0.6.
+  const double u = asura::units::E_SN / 100.0;
+  const double T = asura::units::u_to_temperature(u, 0.6);
+  EXPECT_GT(T, 1.0e6);
+  EXPECT_LT(T, 1.0e9);
+}
+
+TEST(Pcg32Test, DeterministicStreams) {
+  Pcg32 a(42, 1), b(42, 1), c(42, 2);
+  EXPECT_EQ(a.nextU32(), b.nextU32());
+  EXPECT_NE(a.nextU32(), c.nextU32());
+}
+
+TEST(Pcg32Test, UniformRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32Test, UniformMeanVariance) {
+  Pcg32 rng(3);
+  double s = 0.0, s2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    s += u;
+    s2 += u * u;
+  }
+  const double mean = s / n;
+  const double var = s2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Pcg32Test, NormalMoments) {
+  Pcg32 rng(11);
+  double s = 0.0, s2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+TEST(Pcg32Test, IsotropicDirectionsAverageToZero) {
+  Pcg32 rng(5);
+  Vec3d sum{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const Vec3d v = rng.isotropic();
+    ASSERT_NEAR(v.norm(), 1.0, 1e-12);
+    sum += v;
+  }
+  EXPECT_NEAR(sum.norm() / n, 0.0, 0.01);
+}
+
+TEST(Pcg32Test, BelowIsInRange) {
+  Pcg32 rng(9);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(17);
+    ASSERT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all bins hit
+}
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 2.0);
+  EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
+}
+
+TEST(HistogramTest, LogBinningCenters) {
+  Histogram h(1.0, 1.0e4, 4, /*log_bins=*/true);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(5.0e3);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+  EXPECT_NEAR(h.center(0), std::pow(10.0, 0.5), 1e-9);
+}
+
+TEST(HistogramTest, OutOfRangeAndNanDropped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(std::nan(""));
+  EXPECT_DOUBLE_EQ(h.totalWeight(), 0.0);
+}
+
+TEST(HistogramTest, PmfSumsToOneAndL1) {
+  Histogram a(0.0, 1.0, 8), b(0.0, 1.0, 8);
+  Pcg32 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(rng.uniform());
+    b.add(rng.uniform());
+  }
+  double sum = 0.0;
+  for (double p : a.pmf()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(Histogram::l1Distance(a, b), 0.2);
+  EXPECT_DOUBLE_EQ(Histogram::l1Distance(a, a), 0.0);
+}
+
+TEST(TableTest, RendersHeaderRowsAndFootnote) {
+  asura::util::Table t("Table X: demo");
+  t.setHeader({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addSeparator();
+  t.addRow({"beta", "2"});
+  t.setFootnote("note");
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("note"), std::string::npos);
+  EXPECT_EQ(t.rows(), 3u);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(asura::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(asura::util::fmtSci(12345.0, 1), "1.2e+04");
+  EXPECT_EQ(asura::util::fmtInt(42), "42");
+}
+
+TEST(TimerTest, AccumulatesAndOrders) {
+  asura::util::TimerRegistry reg;
+  reg.start("a");
+  reg.stop("a");
+  reg.start("b");
+  reg.stop("b");
+  reg.start("a");
+  reg.stop("a");
+  const auto e = reg.entries();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].first, "a");
+  EXPECT_EQ(e[1].first, "b");
+  EXPECT_GE(reg.total("a"), 0.0);
+  EXPECT_THROW(reg.stop("never-started"), std::logic_error);
+}
+
+TEST(TimerTest, WtimeMonotonic) {
+  const double t0 = asura::util::wtime();
+  const double t1 = asura::util::wtime();
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
