@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "fdps/box.hpp"
 #include "util/units.hpp"
@@ -28,6 +27,7 @@ Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
 
 StepStats Simulation::step() {
   StepStats stats;
+  step_ctx_.beginStep();
   double dt = cfg_.dt_global;
   if (cfg_.adaptive_timestep) {
     // Conventional baseline: global shared timestep limited by the CFL
@@ -61,6 +61,7 @@ StepStats Simulation::step() {
         p.u = std::max(p.u + dt * p.du_dt, 1e-12);
       }
     }
+    step_ctx_.invalidate();  // drift moved every particle
   }
 
   // Force evaluation (tree gravity + SPH) and second kick.
@@ -95,6 +96,7 @@ StepStats Simulation::step() {
       const int formed =
           stellar::formStars(parts_, t_, dt, cfg_.star_formation, imf_, rng_);
       stats.stars_formed = formed;
+      if (formed > 0) step_ctx_.invalidate();  // gas became stars
       double mass_formed = 0.0;
       for (const auto& p : parts_) {
         if (p.isStar() && p.t_form == t_) mass_formed += p.mass;
@@ -110,8 +112,13 @@ StepStats Simulation::step() {
   }
 
   // (7) Recalculate hydro quantities after the internal energy changed.
+  // When neither the surrogate nor star formation touched positions or
+  // species this step, the cached trees from the first pass are still
+  // valid and this pass performs no builds at all.
   computeForces(stats, /*first_pass=*/false);
 
+  stats.tree_builds = step_ctx_.buildsThisStep();
+  stats.tree_refreshes = step_ctx_.refreshesThisStep();
   t_ += dt;
   ++step_;
   return stats;
@@ -124,20 +131,27 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
   const char* kernel_cat =
       first_pass ? "1st Calc_Kernel_Size_and_Density" : "2nd Calc_Kernel_Size";
 
-  // SPH kernel size + density (+ div/curl, pressure).
+  // SPH kernel size + density (+ div/curl, pressure). The gas tree built
+  // here (or reused from the previous pass) is shared with the hydro force
+  // below through step_ctx_; only the smoothing lengths are refreshed.
+  // Sub-timer note: Tree_Build is serial wall-clock, but the walk/kernel
+  // categories are reduction sums over threads (cpu-seconds) — they can
+  // legitimately exceed their bracketing wall-clock category on multi-core
+  // runs, hence the distinct "(cpu)" naming.
   {
     util::TimerRegistry::Scope scope(timers_, kernel_cat);
-    const auto ds = sph::solveDensity(parts_, parts_.size(), cfg_.sph);
+    const auto ds = sph::solveDensity(step_ctx_, parts_, parts_.size(), cfg_.sph);
+    timers_.add("Tree_Build", ds.t_build);
+    timers_.add("Tree_Walk (cpu)", ds.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", ds.t_kernel);
     if (first_pass) stats.density_stats = ds;
   }
 
-  // Gravity (tree construction is timed by the gravity solver internally;
-  // we bracket the whole evaluation and keep the LET category for the
-  // distributed path).
+  // Gravity: the tree lives in step_ctx_ and is reused by the second pass
+  // when positions did not change; this category keeps bracketing the
+  // acceleration reset and the LET category stays for the distributed path.
   {
     util::TimerRegistry::Scope scope(timers_, tree_cat);
-    // Tree is rebuilt inside accumulateTreeGravity; this category brackets
-    // the serial rebuild below through the zeroed accelerations.
     for (auto& p : parts_) {
       p.acc = Vec3d{};
       p.pot = 0.0;
@@ -146,12 +160,15 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
   { util::TimerRegistry::Scope scope(timers_, let_cat); /* serial: no-op */ }
   {
     util::TimerRegistry::Scope scope(timers_, force_cat);
-    if (first_pass) {
-      stats.gravity_stats = gravity::accumulateTreeGravity(parts_, {}, cfg_.gravity);
-    } else {
-      (void)gravity::accumulateTreeGravity(parts_, {}, cfg_.gravity);
-    }
-    const auto fs = sph::accumulateHydroForce(parts_, parts_.size(), cfg_.sph);
+    const auto gs = gravity::accumulateTreeGravity(step_ctx_, parts_, {}, cfg_.gravity);
+    timers_.add("Tree_Build", gs.t_build);
+    timers_.add("Tree_Walk (cpu)", gs.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
+    if (first_pass) stats.gravity_stats = gs;
+    const auto fs = sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(), cfg_.sph);
+    timers_.add("Tree_Build", fs.t_build);
+    timers_.add("Tree_Walk (cpu)", fs.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);
     if (first_pass) stats.force_stats = fs;
   }
 }
@@ -179,17 +196,41 @@ void Simulation::captureAndSendRegions(const std::vector<stellar::SnEvent>& even
   }
 }
 
+const std::unordered_map<std::uint64_t, std::size_t>& Simulation::idIndex() {
+  if (!id_index_valid_ || id_index_.size() != parts_.size()) {
+    id_index_.clear();
+    id_index_.reserve(parts_.size());
+    for (std::size_t i = 0; i < parts_.size(); ++i) id_index_[parts_[i].id] = i;
+    id_index_valid_ = true;
+  }
+  return id_index_;
+}
+
 void Simulation::receiveAndReplace(StepStats& stats) {
   if (!pool_) return;
   const auto due = pool_->collectDue(step_);
   if (due.empty()) return;
-  std::map<std::uint64_t, std::size_t> index;
-  for (std::size_t i = 0; i < parts_.size(); ++i) index[parts_[i].id] = i;
+  // The persistent id index survives across receives: in-place replacement
+  // keeps both ids and array positions stable, so the O(N log N) rebuild
+  // the seed performed per receive is needed only after add/reorder.
+  const auto* index = &idIndex();
+  bool rebuilt = false;
+  int replaced = 0;
   for (const auto& prediction : due) {
     ++stats.regions_received;
     for (const auto& q : prediction) {
-      const auto it = index.find(q.id);
-      if (it == index.end()) continue;  // left the domain meanwhile
+      auto it = index->find(q.id);
+      const bool stale_hit = it != index->end() && parts_[it->second].id != q.id;
+      if ((stale_hit || (it == index->end() && !rebuilt))) {
+        // A mismatched hit proves the index is stale (external mutation
+        // through particles()); a miss merely might be — rebuild once per
+        // receive before concluding the particle really left the domain.
+        id_index_valid_ = false;
+        index = &idIndex();
+        rebuilt = true;
+        it = index->find(q.id);
+      }
+      if (it == index->end()) continue;  // left the domain meanwhile
       Particle& p = parts_[it->second];
       p.pos = q.pos;
       p.vel = q.vel;
@@ -197,9 +238,11 @@ void Simulation::receiveAndReplace(StepStats& stats) {
       p.rho = q.rho;
       p.h = q.h;
       p.frozen = 0;
-      ++stats.particles_replaced;
+      ++replaced;
     }
   }
+  stats.particles_replaced += replaced;
+  if (replaced > 0) step_ctx_.invalidate();  // surrogate moved particles
 }
 
 void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {

@@ -20,10 +20,12 @@
 ///     the global CFL minimum and injects SN energy directly).
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pool.hpp"
 #include "core/surrogate.hpp"
+#include "fdps/context.hpp"
 #include "fdps/particle.hpp"
 #include "gravity/gravity.hpp"
 #include "sph/sph.hpp"
@@ -65,6 +67,8 @@ struct StepStats {
   int particles_replaced = 0;
   int stars_formed = 0;
   double dt_used = 0.0;
+  int tree_builds = 0;    ///< trees (re)built this step (seed: 6; pipeline: <=3 quiet)
+  int tree_refreshes = 0; ///< O(N) smoothing refreshes standing in for rebuilds
   gravity::GravityStats gravity_stats{};
   sph::DensityStats density_stats{};
   sph::ForceStats force_stats{};
@@ -114,6 +118,9 @@ class Simulation {
                              StepStats& stats);
   void receiveAndReplace(StepStats& stats);
   void directFeedback(const std::vector<stellar::SnEvent>& events);
+  /// Id -> index lookup, rebuilt lazily after the particle array changes
+  /// (add/reorder) instead of on every surrogate receive.
+  const std::unordered_map<std::uint64_t, std::size_t>& idIndex();
 
   std::vector<fdps::Particle> parts_;
   SimulationConfig cfg_;
@@ -125,6 +132,9 @@ class Simulation {
   double t_ = 0.0;
   long step_ = 0;
   std::vector<double> sfr_history_;  ///< Msun/Myr per step
+  fdps::StepContext step_ctx_;       ///< once-per-pass tree pipeline cache
+  std::unordered_map<std::uint64_t, std::size_t> id_index_;
+  bool id_index_valid_ = false;
 };
 
 }  // namespace asura::core

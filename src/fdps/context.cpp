@@ -1,0 +1,97 @@
+#include "fdps/context.hpp"
+
+#include <algorithm>
+
+#include "util/omp.hpp"
+
+namespace asura::fdps {
+
+using util::ompMaxThreads;
+
+StepContext::StepContext() : arenas_(static_cast<std::size_t>(ompMaxThreads())) {}
+
+void StepContext::ensureArenas() {
+  const auto want = static_cast<std::size_t>(std::max(1, ompMaxThreads()));
+  if (arenas_.size() < want) arenas_.resize(want);
+}
+
+void StepContext::beginStep() {
+  builds_step_ = 0;
+  refreshes_step_ = 0;
+}
+
+void StepContext::invalidate() {
+  gravity_tree_valid_ = false;
+  gas_tree_valid_ = false;
+  gravity_groups_valid_ = false;
+  gas_groups_valid_ = false;
+}
+
+SourceTree& StepContext::gravityTree(std::span<const Particle> particles,
+                                     std::span<const SourceEntry> let_entries,
+                                     int leaf_size) {
+  ensureArenas();
+  if (!gravity_tree_valid_ || gravity_n_ != particles.size() ||
+      gravity_let_n_ != let_entries.size() || gravity_leaf_ != leaf_size) {
+    std::vector<SourceEntry> sources = makeSourceEntries(particles);
+    sources.insert(sources.end(), let_entries.begin(), let_entries.end());
+    gravity_tree_.build(std::move(sources), leaf_size);
+    gravity_tree_valid_ = true;
+    gravity_n_ = particles.size();
+    gravity_let_n_ = let_entries.size();
+    gravity_leaf_ = leaf_size;
+    ++builds_step_;
+    ++builds_total_;
+  }
+  return gravity_tree_;
+}
+
+SourceTree& StepContext::gasTree(std::span<const Particle> work, int leaf_size) {
+  ensureArenas();
+  if (!gas_tree_valid_ || gas_n_ != work.size() || gas_leaf_ != leaf_size) {
+    gas_tree_.build(makeSourceEntries(work, /*gas_only=*/true), leaf_size);
+    gas_tree_valid_ = true;
+    gas_n_ = work.size();
+    gas_leaf_ = leaf_size;
+    ++builds_step_;
+    ++builds_total_;
+  }
+  return gas_tree_;
+}
+
+const std::vector<TargetGroup>& StepContext::gravityGroups(
+    std::span<const Particle> particles, int group_size) {
+  if (!gravity_groups_valid_ || gravity_grp_n_ != particles.size() ||
+      gravity_gs_ != group_size) {
+    gravity_groups_ = makeTargetGroups(particles, group_size);
+    gravity_groups_valid_ = true;
+    gravity_grp_n_ = particles.size();
+    gravity_gs_ = group_size;
+  }
+  return gravity_groups_;
+}
+
+const std::vector<TargetGroup>& StepContext::gasGroups(std::span<const Particle> work,
+                                                       std::size_t n_local,
+                                                       int group_size) {
+  n_local = std::min(n_local, work.size());
+  if (!gas_groups_valid_ || gas_grp_n_ != work.size() || gas_grp_local_ != n_local ||
+      gas_gs_ != group_size) {
+    gas_groups_ = makeTargetGroups(work.subspan(0, n_local), group_size,
+                                   /*gas_only=*/true);
+    gas_groups_valid_ = true;
+    gas_grp_n_ = work.size();
+    gas_grp_local_ = n_local;
+    gas_gs_ = group_size;
+  }
+  return gas_groups_;
+}
+
+void StepContext::refreshGasSmoothing(std::span<const Particle> work) {
+  if (!gas_tree_valid_) return;
+  gas_tree_.refreshSmoothing(work);
+  ++refreshes_step_;
+  ++refreshes_total_;
+}
+
+}  // namespace asura::fdps

@@ -1,0 +1,154 @@
+#pragma once
+/// \file context.hpp
+/// \brief Per-step tree/neighbour pipeline cache (the once-per-pass tree
+/// pipeline).
+///
+/// The seed rebuilt a Morton tree up to six times per Simulation::step —
+/// the gravity tree twice and the gas tree four times across the two force
+/// passes — even though particle positions are frozen between the drift and
+/// the end of the step. StepContext owns the trees, the Morton-sorted
+/// target groups and the per-thread scratch arenas, so each force pass
+/// builds each tree at most once and the second pass reuses the first
+/// pass's trees outright when nothing moved.
+///
+/// # Pipeline invariants (the contract every caller relies on)
+///
+/// **Cache validity.** A cached tree/group set is valid from the moment it
+/// is built until `invalidate()` is called. Callers MUST invalidate when
+/// any of the following change: particle *positions* (drift, surrogate
+/// replacement), particle *species* (star formation converts gas), the
+/// particle *count* (exchange, star formation), or the imported LET entry
+/// set. Changes to thermodynamic state (u, rho, pres, cs, du_dt) and to
+/// velocities do NOT require invalidation — trees store only pos/mass/eps/h.
+///
+/// **Smoothing lengths.** The density solve updates Particle::h; the cached
+/// gas tree is brought up to date with `refreshGasSmoothing()` (entry h +
+/// per-node max_h, an O(N + nodes) sweep) instead of a rebuild. The hydro
+/// force pass therefore sees exactly the supports a fresh build would —
+/// positions unchanged implies identical Morton order and topology.
+///
+/// **Mismatch guards.** As a belt-and-braces check, cached products also
+/// remember the (count, leaf_size/group_size, n_local, LET size) they were
+/// built from and rebuild automatically when a caller asks with different
+/// parameters. This guards against count changes; *silent position
+/// mutation cannot be detected* and is the caller's responsibility.
+///
+/// **Scratch arenas.** `arena(tid)` hands each OpenMP thread a private
+/// ThreadArena holding interaction-list and SoA staging buffers. Arenas are
+/// grown on demand and never shrink, so steady-state force passes perform
+/// no per-group allocation. A ThreadArena must only ever be touched by the
+/// thread that owns the index — there is no internal locking.
+///
+/// **Thread safety.** StepContext itself is NOT thread-safe: the accessor
+/// methods (gravityTree, gasTree, …Groups, refreshGasSmoothing,
+/// invalidate, beginStep) must be called from serial code (outside any
+/// parallel region). The returned trees/groups are immutable during the
+/// parallel force loops and may be read concurrently. One StepContext per
+/// Simulation (or per thread of independent simulations).
+///
+/// **Observability.** Every tree build and refresh is counted
+/// (buildsThisStep/totalBuilds, refreshesThisStep/totalRefreshes);
+/// Simulation::step resets the per-step counts via beginStep() and exports
+/// them through StepStats so tests can assert the 6-to-≤3 reduction.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fdps/particle.hpp"
+#include "fdps/tree.hpp"
+
+namespace asura::fdps {
+
+/// Per-thread scratch for tree walks and SoA-staged interaction kernels.
+/// Owned by StepContext; indexed by omp_get_thread_num().
+struct ThreadArena {
+  // Tree-walk outputs.
+  std::vector<std::uint32_t> idx;  ///< EP indices / neighbour candidates
+  std::vector<Monopole> sp;        ///< accepted multipoles
+
+  // SoA source staging, single precision (mixed-precision gravity kernel).
+  std::vector<float> fx, fy, fz, fm, fe2;
+  // SoA source staging, double precision (F64 gravity, SPH candidates).
+  std::vector<double> sx, sy, sz, sm, se2;
+
+  // Per-candidate scratch for the SPH passes. Semantics differ per pass:
+  // the hydro-force prefilter stores squared distances, the density gather
+  // stores plain r (its radius sort wants them anyway) — treat the
+  // contents as owned by whichever kernel filled it last.
+  std::vector<double> r2;             ///< per-candidate distance scratch
+  std::vector<std::uint32_t> sel;     ///< compacted survivor slots
+  std::vector<std::pair<double, std::uint32_t>> by_r;  ///< radius-sorted
+
+  // SoA candidate fields for the hydro-force kernel.
+  std::vector<double> qvx, qvy, qvz, qh, qrho, qpres, qcs, qdivv, qcurlv;
+  std::vector<std::uint32_t> qidx;
+
+  // Target-side staging.
+  std::vector<util::Vec3d> tpos, tacc;
+  std::vector<double> teps, tpot;
+};
+
+class StepContext {
+ public:
+  StepContext();
+
+  /// Reset the per-step counters (call once at the top of Simulation::step).
+  void beginStep();
+
+  /// Drop every cached tree/group: positions, species, counts or the LET
+  /// import set changed.
+  void invalidate();
+
+  /// Gravity tree over all `particles` plus the imported LET entries.
+  /// Builds lazily; returns the cached tree while valid.
+  SourceTree& gravityTree(std::span<const Particle> particles,
+                          std::span<const SourceEntry> let_entries, int leaf_size);
+
+  /// Gas-only tree over the working array (locals + ghosts).
+  SourceTree& gasTree(std::span<const Particle> work, int leaf_size);
+
+  /// Morton-ordered target groups over all particles (gravity targets).
+  const std::vector<TargetGroup>& gravityGroups(std::span<const Particle> particles,
+                                                int group_size);
+
+  /// Morton-ordered gas-only target groups over the local prefix.
+  const std::vector<TargetGroup>& gasGroups(std::span<const Particle> work,
+                                            std::size_t n_local, int group_size);
+
+  /// Propagate updated Particle::h into the cached gas tree (entry h and
+  /// node max_h) — an O(N + nodes) sweep instead of a rebuild.
+  void refreshGasSmoothing(std::span<const Particle> work);
+
+  [[nodiscard]] ThreadArena& arena(int tid) { return arenas_[static_cast<std::size_t>(tid)]; }
+  [[nodiscard]] int numArenas() const { return static_cast<int>(arenas_.size()); }
+
+  /// Grow the arena pool to the current omp_get_max_threads(). Called from
+  /// the serial prologue of every force pass so a later omp_set_num_threads
+  /// increase cannot index past the pool built at construction time.
+  void ensureArenas();
+
+  [[nodiscard]] int buildsThisStep() const { return builds_step_; }
+  [[nodiscard]] std::uint64_t totalBuilds() const { return builds_total_; }
+  [[nodiscard]] int refreshesThisStep() const { return refreshes_step_; }
+  [[nodiscard]] std::uint64_t totalRefreshes() const { return refreshes_total_; }
+
+ private:
+  SourceTree gravity_tree_, gas_tree_;
+  std::vector<TargetGroup> gravity_groups_, gas_groups_;
+
+  bool gravity_tree_valid_ = false, gas_tree_valid_ = false;
+  bool gravity_groups_valid_ = false, gas_groups_valid_ = false;
+  // Build-parameter fingerprints for the mismatch guard.
+  std::size_t gravity_n_ = 0, gravity_let_n_ = 0, gas_n_ = 0;
+  std::size_t gravity_grp_n_ = 0, gas_grp_n_ = 0, gas_grp_local_ = 0;
+  int gravity_leaf_ = 0, gas_leaf_ = 0, gravity_gs_ = 0, gas_gs_ = 0;
+
+  std::vector<ThreadArena> arenas_;
+
+  int builds_step_ = 0, refreshes_step_ = 0;
+  std::uint64_t builds_total_ = 0, refreshes_total_ = 0;
+};
+
+}  // namespace asura::fdps

@@ -71,6 +71,12 @@ class SourceTree {
   /// Build over a copy of the entries (sorted internally by Morton key).
   void build(std::vector<SourceEntry> entries, int leaf_size = 16);
 
+  /// Refresh the SPH support radii stored in the tree (entry h and per-node
+  /// max_h) from the originating particle array, without rebuilding topology
+  /// or sort order. Valid only while particle *positions* are unchanged since
+  /// build(); multipole entries (LET imports) keep their h.
+  void refreshSmoothing(std::span<const Particle> particles);
+
   [[nodiscard]] const std::vector<SourceEntry>& entries() const { return entries_; }
   [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
@@ -94,8 +100,17 @@ class SourceTree {
   void exportLet(const Box& remote_box, double theta, std::vector<SourceEntry>& out) const;
 
  private:
-  std::int32_t buildNode(std::uint32_t first, std::uint32_t count, int level,
-                         int leaf_size);
+  void buildTopology(int leaf_size);
+  void computeMoments();
+  /// Octant boundaries of a Morton-sorted entry range at `level`.
+  void splitOctants(std::uint32_t first, std::uint32_t count, int level,
+                    std::uint32_t (&child_first)[9]) const;
+  /// Depth-first expansion of `nodes[root]` (first/count already set),
+  /// appending descendants in pre-order and computing leaf moments. Shared
+  /// by the serial (global arrays) and parallel (thread-local arrays +
+  /// splice) build paths so their node layouts cannot diverge.
+  void buildSubtree(std::int32_t root, int root_level, int leaf_size,
+                    std::vector<Node>& nodes, std::vector<std::int32_t>& links) const;
 
   std::vector<SourceEntry> entries_;
   std::vector<std::uint64_t> keys_;  ///< Morton keys parallel to entries_
@@ -104,6 +119,13 @@ class SourceTree {
   /// direct children are not contiguous in nodes_ (grandchildren interleave
   /// during the depth-first build).
   std::vector<std::int32_t> child_links_;
+
+  /// Persistent sort/permute scratch: rebuilding every step out of fresh
+  /// allocations costs more in page faults than in arithmetic, so a tree
+  /// that lives in a StepContext keeps its working set warm across steps.
+  std::vector<std::uint64_t> sort_key_scratch_;
+  std::vector<std::uint32_t> sort_idx_a_, sort_idx_b_, sort_counts_;
+  std::vector<SourceEntry> entry_scratch_;
 };
 
 /// A contiguous chunk of Morton-sorted local targets sharing one interaction
@@ -122,5 +144,13 @@ std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
 /// Convenience: build gravity source entries from local particles.
 std::vector<SourceEntry> makeSourceEntries(std::span<const Particle> particles,
                                            bool gas_only = false);
+
+/// Stable parallel LSD radix sort: fill `order` with a permutation such that
+/// keys[order[i]] is non-decreasing and ties keep ascending original index —
+/// exactly the ordering of the comparator-based indirect std::sort it
+/// replaces, at O(N) instead of O(N log N) key comparisons. Exposed for the
+/// regression tests and the tree-pipeline benchmark.
+void radixSortByKey(std::span<const std::uint64_t> keys,
+                    std::vector<std::uint32_t>& order);
 
 }  // namespace asura::fdps

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "util/omp.hpp"
+#include "util/timer.hpp"
 #include "util/vec3.hpp"
 
 namespace asura::gravity {
 
+using util::ompThreadId;
 using util::Vec3f;
 
 void accumulateDirect(std::span<Particle> targets, std::span<const SourceEntry> sources,
@@ -68,114 +71,177 @@ void evalGroupMixedF32(const Vec3d* target_pos, const double* target_eps, int n_
   for (int i = 0; i < n_targets; ++i) centre += target_pos[i];
   centre /= static_cast<double>(n_targets);
 
-  // Stage sources relative to the centre, in single precision.
-  thread_local std::vector<Vec3f> spos;
-  thread_local std::vector<float> smass, seps2;
-  spos.clear();
-  smass.clear();
-  seps2.clear();
-  spos.reserve(ep.size() + sp.size());
+  // Stage sources relative to the centre, in single-precision SoA.
+  thread_local std::vector<float> sx, sy, sz, sm, se2;
+  sx.clear(); sy.clear(); sz.clear(); sm.clear(); se2.clear();
+  const std::size_t ns = ep.size() + sp.size();
+  sx.reserve(ns); sy.reserve(ns); sz.reserve(ns); sm.reserve(ns); se2.reserve(ns);
   for (const auto& s : ep) {
-    spos.emplace_back(Vec3d(s.pos - centre));
-    smass.push_back(static_cast<float>(s.mass));
-    seps2.push_back(static_cast<float>(s.eps * s.eps));
+    const Vec3d rel = s.pos - centre;
+    sx.push_back(static_cast<float>(rel.x));
+    sy.push_back(static_cast<float>(rel.y));
+    sz.push_back(static_cast<float>(rel.z));
+    sm.push_back(static_cast<float>(s.mass));
+    se2.push_back(static_cast<float>(s.eps * s.eps));
   }
   for (const auto& s : sp) {
-    spos.emplace_back(Vec3d(s.com - centre));
-    smass.push_back(static_cast<float>(s.mass));
-    seps2.push_back(static_cast<float>(s.eps * s.eps));
+    const Vec3d rel = s.com - centre;
+    sx.push_back(static_cast<float>(rel.x));
+    sy.push_back(static_cast<float>(rel.y));
+    sz.push_back(static_cast<float>(rel.z));
+    sm.push_back(static_cast<float>(s.mass));
+    se2.push_back(static_cast<float>(s.eps * s.eps));
   }
 
-  const std::size_t ns = spos.size();
+  evalGroupSoaMixedF32(target_pos, target_eps, n_targets, centre, sx.data(), sy.data(),
+                       sz.data(), sm.data(), se2.data(), ns, G, acc_out, pot_out);
+}
+
+void evalGroupSoaF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
+                     const double* sx, const double* sy, const double* sz,
+                     const double* sm, const double* se2, std::size_t ns, double G,
+                     Vec3d* acc_out, double* pot_out) {
   for (int i = 0; i < n_targets; ++i) {
-    const Vec3f pi{Vec3d(target_pos[i] - centre)};
-    const float eps2_i = static_cast<float>(target_eps[i] * target_eps[i]);
-    // Accumulate in float (the hot loop), reduce into double at the end.
-    float ax = 0.0f, ay = 0.0f, az = 0.0f, phi = 0.0f;
+    const double px = target_pos[i].x, py = target_pos[i].y, pz = target_pos[i].z;
+    const double e2i = target_eps[i] * target_eps[i];
+    double ax = 0.0, ay = 0.0, az = 0.0, phi = 0.0;
+#pragma omp simd reduction(+ : ax, ay, az, phi)
     for (std::size_t j = 0; j < ns; ++j) {
-      const float dx = pi.x - spos[j].x;
-      const float dy = pi.y - spos[j].y;
-      const float dz = pi.z - spos[j].z;
-      const float r2 = dx * dx + dy * dy + dz * dz;
-      if (r2 == 0.0f) continue;
-      const float rinv = 1.0f / std::sqrt(r2 + eps2_i + seps2[j]);
-      const float rinv3 = rinv * rinv * rinv;
-      const float mr3 = smass[j] * rinv3;
+      const double dx = px - sx[j];
+      const double dy = py - sy[j];
+      const double dz = pz - sz[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      const double mj = r2 > 0.0 ? sm[j] : 0.0;
+      const double denom = r2 > 0.0 ? r2 + e2i + se2[j] : 1.0;
+      const double rinv = 1.0 / std::sqrt(denom);
+      const double mr = mj * rinv;
+      const double mr3 = mr * rinv * rinv;
       ax -= mr3 * dx;
       ay -= mr3 * dy;
       az -= mr3 * dz;
-      phi -= smass[j] * rinv;
+      phi -= mr;
     }
-    acc_out[i] += G * Vec3d{static_cast<double>(ax), static_cast<double>(ay),
-                            static_cast<double>(az)};
-    pot_out[i] += G * static_cast<double>(phi);
+    acc_out[i] += G * Vec3d{ax, ay, az};
+    pot_out[i] += G * phi;
   }
 }
 
 GravityStats accumulateTreeGravity(std::span<Particle> particles,
                                    std::span<const SourceEntry> let_entries,
                                    const GravityParams& params) {
+  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
+  return accumulateTreeGravity(ctx, particles, let_entries, params);
+}
+
+GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params) {
   GravityStats stats;
   if (particles.empty()) return stats;
 
-  // Source set: all local particles + the imported LET.
-  std::vector<SourceEntry> sources = fdps::makeSourceEntries(particles);
-  sources.insert(sources.end(), let_entries.begin(), let_entries.end());
-  fdps::SourceTree tree;
-  tree.build(std::move(sources), params.leaf_size);
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const fdps::SourceTree& tree = ctx.gravityTree(particles, let_entries, params.leaf_size);
+  const auto& groups = ctx.gravityGroups(particles, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
 
-  const auto groups = fdps::makeTargetGroups(particles, params.group_size);
-
+  const auto& entries = tree.entries();
   std::uint64_t ep_total = 0, sp_total = 0;
+  double walk_s = 0.0, kernel_s = 0.0;
 
-#pragma omp parallel reduction(+ : ep_total, sp_total)
+#pragma omp parallel reduction(+ : ep_total, sp_total, walk_s, kernel_s)
   {
-    std::vector<std::uint32_t> ep_idx;
-    std::vector<Monopole> sp;
-    std::vector<SourceEntry> ep;
-    std::vector<Vec3d> tpos, tacc;
-    std::vector<double> teps, tpot;
+    fdps::ThreadArena& a = ctx.arena(ompThreadId());
 
 #pragma omp for schedule(dynamic)
     for (std::size_t g = 0; g < groups.size(); ++g) {
       const auto& grp = groups[g];
-      ep_idx.clear();
-      sp.clear();
-      tree.gatherInteraction(grp.bbox, params.theta, ep_idx, sp);
-      ep.clear();
-      ep.reserve(ep_idx.size());
-      for (auto k : ep_idx) ep.push_back(tree.entries()[k]);
+      const double tw = util::wtime();
+      a.idx.clear();
+      a.sp.clear();
+      tree.gatherInteraction(grp.bbox, params.theta, a.idx, a.sp);
+      walk_s += util::wtime() - tw;
 
-      const int nt = static_cast<int>(grp.indices.size());
-      tpos.resize(static_cast<std::size_t>(nt));
-      teps.resize(static_cast<std::size_t>(nt));
-      tacc.assign(static_cast<std::size_t>(nt), Vec3d{});
-      tpot.assign(static_cast<std::size_t>(nt), 0.0);
+      const double tk = util::wtime();
+      const auto nt = static_cast<int>(grp.indices.size());
+      a.tpos.resize(static_cast<std::size_t>(nt));
+      a.teps.resize(static_cast<std::size_t>(nt));
+      a.tacc.assign(static_cast<std::size_t>(nt), Vec3d{});
+      a.tpot.assign(static_cast<std::size_t>(nt), 0.0);
+      Vec3d centre{};
       for (int i = 0; i < nt; ++i) {
-        tpos[static_cast<std::size_t>(i)] = particles[grp.indices[static_cast<std::size_t>(i)]].pos;
-        teps[static_cast<std::size_t>(i)] = particles[grp.indices[static_cast<std::size_t>(i)]].eps;
+        const Particle& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+        a.tpos[static_cast<std::size_t>(i)] = p.pos;
+        a.teps[static_cast<std::size_t>(i)] = p.eps;
+        centre += p.pos;
       }
+      centre /= static_cast<double>(nt);
 
+      const std::size_t ns = a.idx.size() + a.sp.size();
       if (params.kernel == GravityParams::Kernel::ScalarF64) {
-        evalGroupScalarF64(tpos.data(), teps.data(), nt, ep, sp, params.G, tacc.data(),
-                           tpot.data());
+        // Absolute double-precision SoA staging.
+        a.sx.resize(ns); a.sy.resize(ns); a.sz.resize(ns);
+        a.sm.resize(ns); a.se2.resize(ns);
+        std::size_t k = 0;
+        for (const auto idx : a.idx) {
+          const SourceEntry& s = entries[idx];
+          a.sx[k] = s.pos.x; a.sy[k] = s.pos.y; a.sz[k] = s.pos.z;
+          a.sm[k] = s.mass; a.se2[k] = s.eps * s.eps;
+          ++k;
+        }
+        for (const auto& s : a.sp) {
+          a.sx[k] = s.com.x; a.sy[k] = s.com.y; a.sz[k] = s.com.z;
+          a.sm[k] = s.mass; a.se2[k] = s.eps * s.eps;
+          ++k;
+        }
+        evalGroupSoaF64(a.tpos.data(), a.teps.data(), nt, a.sx.data(), a.sy.data(),
+                        a.sz.data(), a.sm.data(), a.se2.data(), ns, params.G,
+                        a.tacc.data(), a.tpot.data());
       } else {
-        evalGroupMixedF32(tpos.data(), teps.data(), nt, ep, sp, params.G, tacc.data(),
-                          tpot.data());
+        // Centre-relative single-precision SoA staging (mixed scheme, §4.3).
+        a.fx.resize(ns); a.fy.resize(ns); a.fz.resize(ns);
+        a.fm.resize(ns); a.fe2.resize(ns);
+        std::size_t k = 0;
+        for (const auto idx : a.idx) {
+          const SourceEntry& s = entries[idx];
+          const Vec3d rel = s.pos - centre;
+          a.fx[k] = static_cast<float>(rel.x);
+          a.fy[k] = static_cast<float>(rel.y);
+          a.fz[k] = static_cast<float>(rel.z);
+          a.fm[k] = static_cast<float>(s.mass);
+          a.fe2[k] = static_cast<float>(s.eps * s.eps);
+          ++k;
+        }
+        for (const auto& s : a.sp) {
+          const Vec3d rel = s.com - centre;
+          a.fx[k] = static_cast<float>(rel.x);
+          a.fy[k] = static_cast<float>(rel.y);
+          a.fz[k] = static_cast<float>(rel.z);
+          a.fm[k] = static_cast<float>(s.mass);
+          a.fe2[k] = static_cast<float>(s.eps * s.eps);
+          ++k;
+        }
+        evalGroupSoaMixedF32(a.tpos.data(), a.teps.data(), nt, centre, a.fx.data(),
+                             a.fy.data(), a.fz.data(), a.fm.data(), a.fe2.data(), ns,
+                             params.G, a.tacc.data(), a.tpot.data());
       }
 
       for (int i = 0; i < nt; ++i) {
         auto& p = particles[grp.indices[static_cast<std::size_t>(i)]];
-        p.acc += tacc[static_cast<std::size_t>(i)];
-        p.pot += tpot[static_cast<std::size_t>(i)];
+        p.acc += a.tacc[static_cast<std::size_t>(i)];
+        p.pot += a.tpot[static_cast<std::size_t>(i)];
       }
-      ep_total += static_cast<std::uint64_t>(nt) * ep.size();
-      sp_total += static_cast<std::uint64_t>(nt) * sp.size();
+      ep_total += static_cast<std::uint64_t>(nt) * a.idx.size();
+      sp_total += static_cast<std::uint64_t>(nt) * a.sp.size();
+      kernel_s += util::wtime() - tk;
     }
   }
 
   stats.ep_interactions = ep_total;
   stats.sp_interactions = sp_total;
+  stats.t_walk = walk_s;
+  stats.t_kernel = kernel_s;
   return stats;
 }
 

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "fdps/context.hpp"
 #include "fdps/particle.hpp"
 #include "fdps/tree.hpp"
 #include "util/units.hpp"
@@ -40,6 +41,10 @@ struct GravityParams {
 struct GravityStats {
   std::uint64_t ep_interactions = 0;  ///< particle-particle pairs evaluated
   std::uint64_t sp_interactions = 0;  ///< particle-monopole pairs evaluated
+  int tree_builds = 0;   ///< trees actually (re)built by this call (0 = cached)
+  double t_build = 0.0;  ///< seconds: tree + target-group construction (~0 when cached)
+  double t_walk = 0.0;   ///< seconds: interaction-list gathering, summed over threads
+  double t_kernel = 0.0; ///< seconds: force kernel evaluation, summed over threads
   /// Table 4 convention: 27 flops per interaction.
   [[nodiscard]] double flops() const {
     return 27.0 * static_cast<double>(ep_interactions + sp_interactions);
@@ -53,8 +58,16 @@ void accumulateDirect(std::span<Particle> targets, std::span<const SourceEntry> 
 
 /// Barnes-Hut tree force over local particles + imported LET entries.
 /// Adds into Particle::acc and sets Particle::pot contributions; callers
-/// zero acc/pot beforehand.
+/// zero acc/pot beforehand. This overload builds a throwaway tree per call.
 GravityStats accumulateTreeGravity(std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params);
+
+/// Cached-pipeline overload: the tree and target groups live in `ctx` and
+/// are reused while valid (see fdps/context.hpp for the invariants), so a
+/// force pass whose positions did not change since the last build pays for
+/// the walk and the kernel only.
+GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
                                    std::span<const SourceEntry> let_entries,
                                    const GravityParams& params);
 
@@ -67,5 +80,21 @@ void evalGroupScalarF64(const Vec3d* target_pos, const double* target_eps, int n
 void evalGroupMixedF32(const Vec3d* target_pos, const double* target_eps, int n_targets,
                        std::span<const SourceEntry> ep, std::span<const Monopole> sp,
                        double G, Vec3d* acc_out, double* pot_out);
+
+/// SoA kernels over pre-staged source arrays (x/y/z/m/eps² — no per-group
+/// vector-of-struct churn); written as `#pragma omp simd` wide loops with a
+/// branch-free self-pair mask. The F32 variant expects sources staged
+/// *relative to `centre`* (mixed-precision scheme); the F64 variant takes
+/// absolute positions.
+void evalGroupSoaMixedF32(const Vec3d* target_pos, const double* target_eps,
+                          int n_targets, const Vec3d& centre, const float* sx,
+                          const float* sy, const float* sz, const float* sm,
+                          const float* se2, std::size_t ns, double G, Vec3d* acc_out,
+                          double* pot_out);
+
+void evalGroupSoaF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
+                     const double* sx, const double* sy, const double* sz,
+                     const double* sm, const double* se2, std::size_t ns, double G,
+                     Vec3d* acc_out, double* pot_out);
 
 }  // namespace asura::gravity

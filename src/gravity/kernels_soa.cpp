@@ -1,0 +1,53 @@
+/// \file kernels_soa.cpp
+/// \brief Single-precision SoA gravity kernel, isolated in its own
+/// translation unit so the build can enable reciprocal-approximation math
+/// (rsqrtps + one Newton-Raphson step) for it alone. The mixed-precision
+/// scheme already bounds per-interaction error at float level (§4.3), so
+/// the ~1e-6 relative error of the approximated rsqrt is invisible next to
+/// the float staging error; the ScalarF64 reference kernel deliberately
+/// stays in a strict-math TU.
+
+#include <cmath>
+
+#include "gravity/gravity.hpp"
+#include "util/vec3.hpp"
+
+namespace asura::gravity {
+
+using util::Vec3f;
+
+void evalGroupSoaMixedF32(const Vec3d* target_pos, const double* target_eps,
+                          int n_targets, const Vec3d& centre, const float* sx,
+                          const float* sy, const float* sz, const float* sm,
+                          const float* se2, std::size_t ns, double G, Vec3d* acc_out,
+                          double* pot_out) {
+  for (int i = 0; i < n_targets; ++i) {
+    const Vec3f pi{Vec3d(target_pos[i] - centre)};
+    const float e2i = static_cast<float>(target_eps[i] * target_eps[i]);
+    // Accumulate in float (the hot loop), reduce into double at the end.
+    float ax = 0.0f, ay = 0.0f, az = 0.0f, phi = 0.0f;
+#pragma omp simd reduction(+ : ax, ay, az, phi)
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float dx = pi.x - sx[j];
+      const float dy = pi.y - sy[j];
+      const float dz = pi.z - sz[j];
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      // Branch-free self/coincident mask: a zeroed mass removes the pair
+      // and the clamped denominator keeps the rsqrt finite.
+      const float mj = r2 > 0.0f ? sm[j] : 0.0f;
+      const float denom = r2 > 0.0f ? r2 + e2i + se2[j] : 1.0f;
+      const float rinv = 1.0f / std::sqrt(denom);
+      const float mr = mj * rinv;
+      const float mr3 = mr * rinv * rinv;
+      ax -= mr3 * dx;
+      ay -= mr3 * dy;
+      az -= mr3 * dz;
+      phi -= mr;
+    }
+    acc_out[i] += G * Vec3d{static_cast<double>(ax), static_cast<double>(ay),
+                            static_cast<double>(az)};
+    pot_out[i] += G * static_cast<double>(phi);
+  }
+}
+
+}  // namespace asura::gravity

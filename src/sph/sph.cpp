@@ -7,59 +7,50 @@
 
 #include "fdps/tree.hpp"
 #include "sph/eos.hpp"
+#include "util/omp.hpp"
+#include "util/timer.hpp"
 
 namespace asura::sph {
 
 using fdps::SourceEntry;
 using fdps::SourceTree;
+using util::ompThreadId;
 using util::Vec3d;
-
-namespace {
-
-/// Gas-only source entries over the full working array (locals + ghosts).
-SourceTree buildGasTree(std::span<Particle> work, int leaf_size) {
-  std::vector<SourceEntry> entries;
-  entries.reserve(work.size());
-  for (std::uint32_t i = 0; i < work.size(); ++i) {
-    const Particle& p = work[i];
-    if (!p.isGas()) continue;
-    SourceEntry e;
-    e.pos = p.pos;
-    e.mass = p.mass;
-    e.eps = p.eps;
-    e.h = p.h;
-    e.idx = i;
-    entries.push_back(e);
-  }
-  SourceTree tree;
-  tree.build(std::move(entries), leaf_size);
-  return tree;
-}
-
-}  // namespace
 
 DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
                           const SphParams& params) {
+  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
+  return solveDensity(ctx, work, n_local, params);
+}
+
+DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
+                          std::size_t n_local, const SphParams& params) {
   DensityStats stats;
-  SourceTree tree = buildGasTree(work, params.leaf_size);
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
   if (tree.empty()) return stats;
+  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
 
-  const auto groups =
-      fdps::makeTargetGroups(work.subspan(0, n_local), params.group_size, /*gas_only=*/true);
-
+  const auto& entries = tree.entries();
   int max_iter = 0;
   std::uint64_t interactions = 0;
+  double walk_s = 0.0, kernel_s = 0.0;
 
-#pragma omp parallel reduction(max : max_iter) reduction(+ : interactions)
+#pragma omp parallel reduction(max : max_iter) reduction(+ : interactions, walk_s, kernel_s)
   {
-    std::vector<std::uint32_t> cand;
-    // Candidates sorted by distance: each Newton iteration then only touches
-    // the prefix r < H (~n_ngb entries) instead of the whole gather sphere.
-    std::vector<std::pair<double, std::uint32_t>> by_r;
+    fdps::ThreadArena& a = ctx.arena(ompThreadId());
 
 #pragma omp for schedule(dynamic)
     for (std::size_t g = 0; g < groups.size(); ++g) {
       const auto& grp = groups[g];
+      // Kernel time is accounted per group (not per particle) to keep the
+      // clock reads off the hot path; regathers accrue to walk_s inside the
+      // window and are subtracted at the end so the categories partition.
+      const double tg0 = util::wtime();
+      const double walk_at_g0 = walk_s;
       for (const auto pi : grp.indices) {
         Particle& p = work[pi];
 
@@ -71,26 +62,42 @@ DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
         // Acceptance band +-max(2, 5%) neighbours, standard in SPH codes.
         double H = p.h;
         double search = 0.0;
-        by_r.clear();
+        a.by_r.clear();
         auto regather = [&](double radius) {
           search = radius;
-          cand.clear();
+          a.idx.clear();
           fdps::Box pt;
           pt.extend(p.pos);
-          tree.gatherNeighbors(pt, search, cand);
-          by_r.clear();
-          by_r.reserve(cand.size());
-          for (const auto k : cand) {
-            by_r.emplace_back((p.pos - tree.entries()[k].pos).norm(), k);
+          const double tw = util::wtime();
+          tree.gatherNeighbors(pt, search, a.idx);
+          walk_s += util::wtime() - tw;
+          // Candidates restaged into SoA so the distance pass vectorizes.
+          const std::size_t nc = a.idx.size();
+          a.sx.resize(nc); a.sy.resize(nc); a.sz.resize(nc);
+          for (std::size_t j = 0; j < nc; ++j) {
+            const Vec3d& q = entries[a.idx[j]].pos;
+            a.sx[j] = q.x; a.sy[j] = q.y; a.sz[j] = q.z;
           }
-          std::sort(by_r.begin(), by_r.end());
+          a.r2.resize(nc);
+          const double px = p.pos.x, py = p.pos.y, pz = p.pos.z;
+#pragma omp simd
+          for (std::size_t j = 0; j < nc; ++j) {
+            const double dx = px - a.sx[j];
+            const double dy = py - a.sy[j];
+            const double dz = pz - a.sz[j];
+            a.r2[j] = std::sqrt(dx * dx + dy * dy + dz * dz);
+          }
+          a.by_r.clear();
+          a.by_r.reserve(nc);
+          for (std::size_t j = 0; j < nc; ++j) a.by_r.emplace_back(a.r2[j], a.idx[j]);
+          std::sort(a.by_r.begin(), a.by_r.end());
         };
         auto prefixEnd = [&](double radius) {
-          return std::upper_bound(by_r.begin(), by_r.end(),
+          return std::upper_bound(a.by_r.begin(), a.by_r.end(),
                                   std::pair<double, std::uint32_t>{radius, 0xffffffffu});
         };
         auto countWithin = [&](double radius) {
-          return static_cast<int>(prefixEnd(radius * (1.0 - 1e-15)) - by_r.begin());
+          return static_cast<int>(prefixEnd(radius * (1.0 - 1e-15)) - a.by_r.begin());
         };
 
         const int tol = std::max(2, params.n_ngb / 20);
@@ -137,8 +144,8 @@ DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
         double div = 0.0;
         Vec3d curl{};
         const auto end = prefixEnd(H * (1.0 - 1e-15));
-        for (auto c = by_r.begin(); c != end; ++c) {
-          const SourceEntry& s = tree.entries()[c->second];
+        for (auto c = a.by_r.begin(); c != end; ++c) {
+          const SourceEntry& s = entries[c->second];
           const Particle& q = work[s.idx];
           const Vec3d dr = p.pos - q.pos;
           const double r = c->first;
@@ -161,28 +168,45 @@ DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
         p.pres = pressure(rho, p.u);
         p.cs = soundSpeed(p.u);
       }
+      kernel_s += util::wtime() - tg0 - (walk_s - walk_at_g0);
     }
   }
 
+  // Propagate the converged supports into the cached tree so the hydro
+  // force (and a possible second pass) reuses it without a rebuild.
+  ctx.refreshGasSmoothing(work);
+
   stats.max_iterations = max_iter;
   stats.interactions = interactions;
+  stats.t_walk = walk_s;
+  stats.t_kernel = kernel_s;
   return stats;
 }
 
 ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
                                 const SphParams& params) {
+  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
+  return accumulateHydroForce(ctx, work, n_local, params);
+}
+
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params) {
   ForceStats stats;
-  SourceTree tree = buildGasTree(work, params.leaf_size);
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
   if (tree.empty()) return stats;
+  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
 
-  const auto groups =
-      fdps::makeTargetGroups(work.subspan(0, n_local), params.group_size, /*gas_only=*/true);
-
+  const auto& entries = tree.entries();
   std::uint64_t interactions = 0;
+  double walk_s = 0.0, kernel_s = 0.0;
 
-#pragma omp parallel reduction(+ : interactions)
+#pragma omp parallel reduction(+ : interactions, walk_s, kernel_s)
   {
-    std::vector<std::uint32_t> cand;
+    fdps::ThreadArena& a = ctx.arena(ompThreadId());
 
 #pragma omp for schedule(dynamic)
     for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -191,8 +215,33 @@ ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
       // scatter side handled by the tree's per-node max_h.
       double group_h = 0.0;
       for (const auto pi : grp.indices) group_h = std::max(group_h, work[pi].h);
-      cand.clear();
-      tree.gatherNeighbors(grp.bbox, group_h, cand);
+      const double tw = util::wtime();
+      a.idx.clear();
+      tree.gatherNeighbors(grp.bbox, group_h, a.idx);
+      walk_s += util::wtime() - tw;
+
+      const double tk = util::wtime();
+      // Stage the shared candidate list into SoA once per group: every
+      // particle in the group then runs a vectorized distance prefilter
+      // over packed arrays instead of chasing 272-byte Particle records.
+      const std::size_t nc = a.idx.size();
+      a.sx.resize(nc); a.sy.resize(nc); a.sz.resize(nc);
+      a.sm.resize(nc); a.qh.resize(nc);
+      a.qvx.resize(nc); a.qvy.resize(nc); a.qvz.resize(nc);
+      a.qrho.resize(nc); a.qpres.resize(nc); a.qcs.resize(nc);
+      a.qdivv.resize(nc); a.qcurlv.resize(nc);
+      a.qidx.resize(nc);
+      for (std::size_t j = 0; j < nc; ++j) {
+        const SourceEntry& s = entries[a.idx[j]];
+        const Particle& q = work[s.idx];
+        a.sx[j] = s.pos.x; a.sy[j] = s.pos.y; a.sz[j] = s.pos.z;
+        a.sm[j] = s.mass; a.qh[j] = s.h;
+        a.qvx[j] = q.vel.x; a.qvy[j] = q.vel.y; a.qvz[j] = q.vel.z;
+        a.qrho[j] = q.rho; a.qpres[j] = q.pres; a.qcs[j] = q.cs;
+        a.qdivv[j] = q.divv; a.qcurlv[j] = q.curlv;
+        a.qidx[j] = s.idx;
+      }
+      a.r2.resize(nc);
 
       for (const auto pi : grp.indices) {
         Particle& p = work[pi];
@@ -204,26 +253,41 @@ ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
             std::abs(p.divv) /
             (std::abs(p.divv) + p.curlv + 1e-4 * ci / std::max(hi, 1e-30));
 
+        // Vectorized distance prefilter ...
+        const double px = p.pos.x, py = p.pos.y, pz = p.pos.z;
+#pragma omp simd
+        for (std::size_t j = 0; j < nc; ++j) {
+          const double dx = px - a.sx[j];
+          const double dy = py - a.sy[j];
+          const double dz = pz - a.sz[j];
+          a.r2[j] = dx * dx + dy * dy + dz * dz;
+        }
+        // ... then compact the true neighbours (r < max(Hi, Hj), not self).
+        a.sel.clear();
+        for (std::size_t j = 0; j < nc; ++j) {
+          const double rmax = std::max(Hi, a.qh[j]);
+          if (a.r2[j] < rmax * rmax && a.r2[j] > 0.0 && a.qidx[j] != pi) {
+            a.sel.push_back(static_cast<std::uint32_t>(j));
+          }
+        }
+
         Vec3d acc{};
         double dudt = 0.0;
         double vsig = ci;
 
-        for (const auto k : cand) {
-          const SourceEntry& s = tree.entries()[k];
-          if (s.idx == pi) continue;
-          const Particle& q = work[s.idx];
-          const Vec3d dr = p.pos - q.pos;
-          const double r = dr.norm();
-          const double Hj = q.h;
-          if (r >= std::max(Hi, Hj) || r == 0.0) continue;
+        for (const auto j : a.sel) {
+          const double r = std::sqrt(a.r2[j]);
+          const double Hj = a.qh[j];
           ++interactions;
+
+          const Vec3d dr{px - a.sx[j], py - a.sy[j], pz - a.sz[j]};
 
           // Symmetrized kernel gradient.
           const double dwi = r < Hi ? params.kernel.dwdr(r, Hi) : 0.0;
           const double dwj = r < Hj ? params.kernel.dwdr(r, Hj) : 0.0;
           const Vec3d gradW = (0.5 * (dwi + dwj) / r) * dr;
 
-          const Vec3d dv = p.vel - q.vel;
+          const Vec3d dv{p.vel.x - a.qvx[j], p.vel.y - a.qvy[j], p.vel.z - a.qvz[j]};
           const double vdotr = dv.dot(dr);
 
           // Monaghan (1992) viscosity with Balsara limiter.
@@ -232,32 +296,35 @@ ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
             const double hj = 0.5 * Hj;
             const double hbar = 0.5 * (hi + hj);
             const double mu = hbar * vdotr / (r * r + 0.01 * hbar * hbar);
-            const double cbar = 0.5 * (ci + q.cs);
-            const double rhobar = 0.5 * (p.rho + q.rho);
-            const double cj = q.cs;
+            const double cbar = 0.5 * (ci + a.qcs[j]);
+            const double rhobar = 0.5 * (p.rho + a.qrho[j]);
+            const double cj = a.qcs[j];
             const double balsara_j =
-                std::abs(q.divv) /
-                (std::abs(q.divv) + q.curlv + 1e-4 * cj / std::max(hj, 1e-30));
+                std::abs(a.qdivv[j]) /
+                (std::abs(a.qdivv[j]) + a.qcurlv[j] + 1e-4 * cj / std::max(hj, 1e-30));
             visc = (-params.alpha_visc * cbar * mu + params.beta_visc * mu * mu) /
                    rhobar * 0.5 * (balsara_i + balsara_j);
-            vsig = std::max(vsig, ci + q.cs - 3.0 * mu);
+            vsig = std::max(vsig, ci + a.qcs[j] - 3.0 * mu);
           } else {
-            vsig = std::max(vsig, ci + q.cs);
+            vsig = std::max(vsig, ci + a.qcs[j]);
           }
 
-          const double Pj_rho2 = q.pres / (q.rho * q.rho);
-          acc -= q.mass * (Pi_rho2 + Pj_rho2 + visc) * gradW;
-          dudt += q.mass * (Pi_rho2 + 0.5 * visc) * dv.dot(gradW);
+          const double Pj_rho2 = a.qpres[j] / (a.qrho[j] * a.qrho[j]);
+          acc -= a.sm[j] * (Pi_rho2 + Pj_rho2 + visc) * gradW;
+          dudt += a.sm[j] * (Pi_rho2 + 0.5 * visc) * dv.dot(gradW);
         }
 
         p.acc += acc;
         p.du_dt = dudt;
         p.vsig = vsig;
       }
+      kernel_s += util::wtime() - tk;
     }
   }
 
   stats.interactions = interactions;
+  stats.t_walk = walk_s;
+  stats.t_kernel = kernel_s;
   return stats;
 }
 

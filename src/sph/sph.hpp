@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 
+#include "fdps/context.hpp"
 #include "fdps/particle.hpp"
 #include "sph/kernels.hpp"
 
@@ -36,11 +37,19 @@ struct SphParams {
 struct DensityStats {
   int max_iterations = 0;             ///< worst-case Newton iterations
   std::uint64_t interactions = 0;     ///< kernel evaluations (73 flops each)
+  int tree_builds = 0;   ///< gas trees actually (re)built (0 = cache hit)
+  double t_build = 0.0;  ///< seconds: tree + group construction
+  double t_walk = 0.0;   ///< seconds: neighbour gathering, summed over threads
+  double t_kernel = 0.0; ///< seconds: closure + kernel sums, summed over threads
   [[nodiscard]] double flops() const { return 73.0 * static_cast<double>(interactions); }
 };
 
 struct ForceStats {
   std::uint64_t interactions = 0;     ///< pair evaluations (101 flops each)
+  int tree_builds = 0;   ///< gas trees actually (re)built (0 = cache hit)
+  double t_build = 0.0;  ///< seconds: tree + group construction
+  double t_walk = 0.0;   ///< seconds: neighbour gathering, summed over threads
+  double t_kernel = 0.0; ///< seconds: force kernel, summed over threads
   [[nodiscard]] double flops() const { return 101.0 * static_cast<double>(interactions); }
 };
 
@@ -50,11 +59,22 @@ struct ForceStats {
 DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
                           const SphParams& params);
 
+/// Cached-pipeline overload: the gas tree and target groups live in `ctx`
+/// (see fdps/context.hpp). On return the cached tree's smoothing lengths
+/// have been refreshed to the converged h, so a following hydro-force call
+/// on the same context reuses the tree without a rebuild.
+DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
+                          std::size_t n_local, const SphParams& params);
+
 /// Accumulate hydrodynamic accelerations and du/dt into local gas particles;
 /// also records the max signal velocity (Particle::vsig) for the CFL clock.
 /// Requires density/pressure fields to be current on locals AND ghosts.
 ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
                                 const SphParams& params);
+
+/// Cached-pipeline overload (shares the gas tree built by solveDensity).
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params);
 
 /// Minimum CFL timestep over local gas: dt = cfl * (h/2) / vsig.
 double cflTimestep(std::span<const Particle> gas, const SphParams& params);

@@ -1,0 +1,39 @@
+#pragma once
+/// \file omp.hpp
+/// \brief The one _OPENMP shim: thread-count/-id queries that fall back to
+/// serial values when OpenMP is compiled out, so call sites don't each
+/// carry their own #ifdef block.
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace asura::util {
+
+inline int ompMaxThreads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int ompThreadId() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Size of the team actually granted inside a parallel region (may be
+/// smaller than the requested num_threads under dynamic adjustment).
+inline int ompTeamSize() {
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace asura::util

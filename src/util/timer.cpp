@@ -26,6 +26,12 @@ void TimerRegistry::stop(const std::string& name) {
   it->second.started = -1.0;
 }
 
+void TimerRegistry::add(const std::string& name, double seconds) {
+  auto& e = entries_[name];
+  if (e.order < 0) e.order = next_order_++;
+  e.accum += seconds;
+}
+
 double TimerRegistry::total(const std::string& name) const {
   auto it = entries_.find(name);
   return it == entries_.end() ? 0.0 : it->second.accum;

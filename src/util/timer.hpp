@@ -23,6 +23,10 @@ class TimerRegistry {
  public:
   void start(const std::string& name);
   void stop(const std::string& name);
+  /// Fold an externally measured duration into a category — used for
+  /// sub-timers (tree build / walk / kernel) accumulated inside parallel
+  /// regions where start/stop bracketing is impossible.
+  void add(const std::string& name, double seconds);
   [[nodiscard]] double total(const std::string& name) const;
   [[nodiscard]] std::vector<std::pair<std::string, double>> entries() const;
   void reset();
