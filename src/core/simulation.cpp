@@ -29,11 +29,19 @@ StepStats Simulation::step() {
   StepStats stats;
   step_ctx_.beginStep();
   double dt = cfg_.dt_global;
-  if (cfg_.adaptive_timestep) {
+  if (cfg_.adaptive_timestep && !cfg_.hierarchical_timestep) {
     // Conventional baseline: global shared timestep limited by the CFL
     // minimum over all gas — this is what collapses after an SN (§5.3).
-    const double dt_cfl = sph::cflTimestep(parts_, cfg_.sph);
-    dt = std::clamp(std::min(cfg_.dt_global, dt_cfl), cfg_.cfl_dt_min, cfg_.dt_global);
+    // The minimum is the one recorded by the last hydro force pass
+    // (ForceStats::dt_cfl_min), not a separate full-particle sweep; the
+    // particle state is unchanged between that pass and this step start.
+    // Cold start (no pass recorded yet, e.g. a restart from evolved state
+    // with hot cs/vsig): fall back to the standalone sweep once.
+    if (!std::isfinite(last_cfl_dt_)) {
+      last_cfl_dt_ = sph::cflTimestep(parts_, cfg_.sph);
+    }
+    dt = std::clamp(std::min(cfg_.dt_global, last_cfl_dt_), cfg_.cfl_dt_min,
+                    cfg_.dt_global);
   }
   stats.dt_used = dt;
 
@@ -51,24 +59,29 @@ StepStats Simulation::step() {
     captureAndSendRegions(events, stats);
   }
 
-  // (3) First kick + drift (no feedback energy on the main nodes).
-  {
-    util::TimerRegistry::Scope scope(timers_, "Integration");
-    for (auto& p : parts_) {
-      p.vel += 0.5 * dt * p.acc;
-      p.pos += dt * p.vel;
-      if (p.isGas() && !p.frozen) {
-        p.u = std::max(p.u + dt * p.du_dt, 1e-12);
+  // (3) Integration to t + dt: either the fixed global kick-drift-kick or
+  // the hierarchical block sub-step loop (both end synchronized at t + dt).
+  if (cfg_.hierarchical_timestep) {
+    hierarchicalIntegrate(stats, dt);
+  } else {
+    {
+      util::TimerRegistry::Scope scope(timers_, "Integration");
+      for (auto& p : parts_) {
+        p.vel += 0.5 * dt * p.acc;
+        p.pos += dt * p.vel;
+        if (p.isGas() && !p.frozen) {
+          p.u = std::max(p.u + dt * p.du_dt, 1e-12);
+        }
       }
+      step_ctx_.invalidate();  // drift moved every particle
     }
-    step_ctx_.invalidate();  // drift moved every particle
-  }
 
-  // Force evaluation (tree gravity + SPH) and second kick.
-  computeForces(stats, /*first_pass=*/true);
-  {
-    util::TimerRegistry::Scope scope(timers_, "Final_kick");
-    for (auto& p : parts_) p.vel += 0.5 * dt * p.acc;
+    // Force evaluation (tree gravity + SPH) and second kick.
+    computeForces(stats, /*first_pass=*/true);
+    {
+      util::TimerRegistry::Scope scope(timers_, "Final_kick");
+      for (auto& p : parts_) p.vel += 0.5 * dt * p.acc;
+    }
   }
 
   // (4) Receive predictions due this step; replace particles by id.
@@ -124,6 +137,202 @@ StepStats Simulation::step() {
   return stats;
 }
 
+namespace {
+
+// Sub-step accumulation of per-pass stats into the step totals.
+void accumulate(sph::DensityStats& into, const sph::DensityStats& ds) {
+  into.max_iterations = std::max(into.max_iterations, ds.max_iterations);
+  into.interactions += ds.interactions;
+  into.tree_builds += ds.tree_builds;
+  into.t_build += ds.t_build;
+  into.t_walk += ds.t_walk;
+  into.t_kernel += ds.t_kernel;
+}
+
+void accumulate(sph::ForceStats& into, const sph::ForceStats& fs) {
+  into.interactions += fs.interactions;
+  into.tree_builds += fs.tree_builds;
+  into.t_build += fs.t_build;
+  into.t_walk += fs.t_walk;
+  into.t_kernel += fs.t_kernel;
+  into.dt_cfl_min = std::min(into.dt_cfl_min, fs.dt_cfl_min);
+}
+
+void accumulate(gravity::GravityStats& into, const gravity::GravityStats& gs) {
+  into.ep_interactions += gs.ep_interactions;
+  into.sp_interactions += gs.sp_interactions;
+  into.tree_builds += gs.tree_builds;
+  into.t_build += gs.t_build;
+  into.t_walk += gs.t_walk;
+  into.t_kernel += gs.t_kernel;
+}
+
+}  // namespace
+
+int Simulation::desiredRung(const fdps::Particle& p, double dt_global) const {
+  const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
+  double want = dt_global;
+  const double a = p.acc.norm();
+  if (a > 0.0) {
+    want = std::min(want, cfg_.rung_safety * cfg_.eta_acc * std::sqrt(p.eps / a));
+  }
+  if (p.isGas()) {
+    // Per-particle CFL clock from the vsig the last hydro pass recorded —
+    // the same quantity the global baseline now reads as a single minimum.
+    const double v = std::max(p.vsig, p.cs);
+    if (v > 0.0) {
+      want = std::min(want, cfg_.rung_safety * cfg_.sph.cfl * 0.5 * p.h / v);
+    }
+  }
+  want = std::max(want, cfg_.cfl_dt_min);
+  int k = 0;
+  double dt_k = dt_global;
+  while (k < kmax && dt_k > want * (1.0 + 1e-12)) {
+    dt_k *= 0.5;
+    ++k;
+  }
+  return k;
+}
+
+void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
+  const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
+  const long nfull = 1L << kmax;
+  const double dt_min = dt / static_cast<double>(nfull);
+
+  // Rung assignment at the sync point: every boundary is aligned at n = 0,
+  // so each particle takes its criterion rung directly. The first step ever
+  // has acc = vsig = 0 and lands everything on rung 0, exactly like the
+  // seed's first kick with zero initial accelerations.
+  {
+    util::TimerRegistry::Scope scope(timers_, "Integration");
+    for (auto& p : parts_) {
+      p.rung = static_cast<std::uint8_t>(desiredRung(p, dt));
+      ++stats.rung_histogram[p.rung];
+    }
+  }
+
+  // A rung-k boundary lies at every multiple of nfull >> k sub-units.
+  const auto aligned = [nfull](long n, int rung) {
+    return (n & ((nfull >> rung) - 1)) == 0;
+  };
+
+  long n = 0;
+  bool first_sub = true;
+  while (n < nfull) {
+    // Opening kick for particles whose step starts at n (their own dt/2 and
+    // the gas u predictor), fused with the deepest-occupied-rung scan that
+    // sets this sub-step's size. Inactive particles are untouched: they
+    // keep coasting on their held acceleration ("drifted by prediction").
+    int k_deep = 0;
+    {
+      util::TimerRegistry::Scope scope(timers_, "Integration");
+      for (auto& p : parts_) {
+        k_deep = std::max(k_deep, static_cast<int>(p.rung));
+        if (!aligned(n, p.rung)) continue;
+        const double dt_p = dt_min * static_cast<double>(nfull >> p.rung);
+        p.vel += 0.5 * dt_p * p.acc;
+        if (p.isGas() && !p.frozen) {
+          p.u = std::max(p.u + dt_p * p.du_dt, 1e-12);
+        }
+      }
+    }
+    const long stride = nfull >> k_deep;
+    const double sub_dt = dt_min * static_cast<double>(stride);
+
+    // Drift ALL particles by the sub-step.
+    {
+      util::TimerRegistry::Scope scope(timers_, "Integration");
+      for (auto& p : parts_) p.pos += sub_dt * p.vel;
+    }
+    n += stride;
+
+    // Tree maintenance: one real rebuild per global step (after the first
+    // drift), then O(N) in-place position/moment refreshes keep the cached
+    // trees consistent with the drifted sources without re-sorting.
+    if (first_sub) {
+      step_ctx_.invalidate();
+      first_sub = false;
+    } else {
+      step_ctx_.refreshGravityPositions(parts_);
+      step_ctx_.refreshGasPositions(parts_);
+    }
+
+    // Closing set: particles whose step ends at the updated n. The deepest
+    // occupied rung closes every iteration, so the set is never empty.
+    active_idx_.clear();
+    active_gas_idx_.clear();
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(parts_.size()); ++i) {
+      const auto& p = parts_[i];
+      if (!aligned(n, p.rung)) continue;
+      active_idx_.push_back(i);
+      if (p.isGas()) active_gas_idx_.push_back(i);
+      ++stats.rung_force_evals[p.rung];
+    }
+    computeForcesActive(stats, active_idx_, active_gas_idx_);
+
+    // Closing kick, then rung update: refining is always allowed, while
+    // coarsening may only land on boundaries aligned with n — the block
+    // invariant that keeps every future boundary on the sub-step grid.
+    {
+      util::TimerRegistry::Scope scope(timers_, "Final_kick");
+      for (const auto i : active_idx_) {
+        auto& p = parts_[i];
+        const double dt_p = dt_min * static_cast<double>(nfull >> p.rung);
+        p.vel += 0.5 * dt_p * p.acc;
+        const int want = desiredRung(p, dt);
+        int k_new = static_cast<int>(p.rung);
+        if (want > k_new) {
+          k_new = want;
+        } else {
+          while (k_new > want && aligned(n, k_new - 1)) --k_new;
+        }
+        p.rung = static_cast<std::uint8_t>(k_new);
+      }
+    }
+    ++stats.substeps;
+  }
+}
+
+void Simulation::computeForcesActive(StepStats& stats,
+                                     std::span<const std::uint32_t> active,
+                                     std::span<const std::uint32_t> active_gas) {
+  if (active.empty()) return;
+
+  if (!active_gas.empty()) {
+    util::TimerRegistry::Scope scope(timers_, "1st Calc_Kernel_Size_and_Density");
+    const auto ds =
+        sph::solveDensity(step_ctx_, parts_, parts_.size(), cfg_.sph, active_gas);
+    timers_.add("Tree_Build", ds.t_build);
+    timers_.add("Tree_Walk (cpu)", ds.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", ds.t_kernel);
+    accumulate(stats.density_stats, ds);
+  }
+
+  {
+    util::TimerRegistry::Scope scope(timers_, "1st Make_Local_Tree");
+    for (const auto i : active) {
+      parts_[i].acc = Vec3d{};
+      parts_[i].pot = 0.0;
+    }
+  }
+  {
+    util::TimerRegistry::Scope scope(timers_, "1st Calc_Force");
+    const auto gs =
+        gravity::accumulateTreeGravity(step_ctx_, parts_, {}, cfg_.gravity, active);
+    timers_.add("Tree_Build", gs.t_build);
+    timers_.add("Tree_Walk (cpu)", gs.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
+    accumulate(stats.gravity_stats, gs);
+    const auto fs = sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(),
+                                              cfg_.sph, active_gas);
+    timers_.add("Tree_Build", fs.t_build);
+    timers_.add("Tree_Walk (cpu)", fs.t_walk);
+    timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);
+    accumulate(stats.force_stats, fs);
+  }
+  stats.force_evaluations += active.size() + active_gas.size();
+}
+
 void Simulation::computeForces(StepStats& stats, bool first_pass) {
   const char* tree_cat = first_pass ? "1st Make_Local_Tree" : "2nd Make_Tree";
   const char* let_cat = first_pass ? "1st Exchange_LET" : "2nd Exchange_LET";
@@ -170,7 +379,16 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);
     if (first_pass) stats.force_stats = fs;
+    // The pass's CFL minimum is next step's adaptive-baseline timestep (and
+    // the per-particle vsig behind it feeds the rung criteria) — the
+    // standalone cflTimestep sweep is no longer on the step path.
+    last_cfl_dt_ = fs.dt_cfl_min;
   }
+  std::size_t n_gas = 0;
+  for (const auto& p : parts_) {
+    if (p.isGas()) ++n_gas;
+  }
+  stats.force_evaluations += parts_.size() + n_gas;
 }
 
 void Simulation::captureAndSendRegions(const std::vector<stellar::SnEvent>& events,

@@ -25,6 +25,7 @@ void StepContext::invalidate() {
   gas_tree_valid_ = false;
   gravity_groups_valid_ = false;
   gas_groups_valid_ = false;
+  active_gas_groups_valid_ = false;
 }
 
 SourceTree& StepContext::gravityTree(std::span<const Particle> particles,
@@ -92,6 +93,55 @@ void StepContext::refreshGasSmoothing(std::span<const Particle> work) {
   gas_tree_.refreshSmoothing(work);
   ++refreshes_step_;
   ++refreshes_total_;
+}
+
+void StepContext::refreshGravityPositions(std::span<const Particle> particles) {
+  gravity_groups_valid_ = false;  // bboxes went stale with the drift
+  if (!gravity_tree_valid_) return;
+  if (gravity_let_n_ > 0 || gravity_n_ != particles.size()) {
+    gravity_tree_valid_ = false;  // imports have no backing array to refresh
+    return;
+  }
+  gravity_tree_.refreshPositions(particles);
+  ++refreshes_step_;
+  ++refreshes_total_;
+}
+
+void StepContext::refreshGasPositions(std::span<const Particle> work) {
+  gas_groups_valid_ = false;
+  active_gas_groups_valid_ = false;
+  if (!gas_tree_valid_) return;
+  if (gas_n_ != work.size()) {
+    gas_tree_valid_ = false;
+    return;
+  }
+  gas_tree_.refreshPositions(work);
+  ++refreshes_step_;
+  ++refreshes_total_;
+}
+
+const std::vector<TargetGroup>& StepContext::activeGravityGroups(
+    std::span<const Particle> particles, std::span<const std::uint32_t> subset,
+    int group_size) {
+  active_gravity_groups_ = makeTargetGroups(particles, subset, group_size);
+  return active_gravity_groups_;
+}
+
+const std::vector<TargetGroup>& StepContext::activeGasGroups(
+    std::span<const Particle> work, std::span<const std::uint32_t> subset,
+    int group_size) {
+  // Content-keyed cache: the density and hydro passes of one sub-step ask
+  // for the same subset back-to-back with no drift in between.
+  if (active_gas_groups_valid_ && active_gas_gs_ == group_size &&
+      active_gas_subset_.size() == subset.size() &&
+      std::equal(subset.begin(), subset.end(), active_gas_subset_.begin())) {
+    return active_gas_groups_;
+  }
+  active_gas_groups_ = makeTargetGroups(work, subset, group_size);
+  active_gas_subset_.assign(subset.begin(), subset.end());
+  active_gas_gs_ = group_size;
+  active_gas_groups_valid_ = true;
+  return active_gas_groups_;
 }
 
 }  // namespace asura::fdps

@@ -73,13 +73,11 @@ struct ThreadArena {
   // SoA source staging, double precision (F64 gravity, SPH candidates).
   std::vector<double> sx, sy, sz, sm, se2;
 
-  // Per-candidate scratch for the SPH passes. Semantics differ per pass:
-  // the hydro-force prefilter stores squared distances, the density gather
-  // stores plain r (its radius sort wants them anyway) — treat the
+  // Per-candidate scratch for the SPH passes: both the density closure and
+  // the hydro-force prefilter store *squared* distances here — treat the
   // contents as owned by whichever kernel filled it last.
-  std::vector<double> r2;             ///< per-candidate distance scratch
+  std::vector<double> r2;             ///< per-candidate squared distances
   std::vector<std::uint32_t> sel;     ///< compacted survivor slots
-  std::vector<std::pair<double, std::uint32_t>> by_r;  ///< radius-sorted
 
   // SoA candidate fields for the hydro-force kernel.
   std::vector<double> qvx, qvy, qvz, qh, qrho, qpres, qcs, qdivv, qcurlv;
@@ -121,6 +119,34 @@ class StepContext {
   /// node max_h) — an O(N + nodes) sweep instead of a rebuild.
   void refreshGasSmoothing(std::span<const Particle> work);
 
+  /// Block-timestep drift support: propagate updated particle positions into
+  /// the cached trees and recompute their moments in place (O(N + nodes))
+  /// instead of invalidating. Topology and Morton order stay from the last
+  /// build, so per-sub-step cost is a sweep, not a sort. The cached
+  /// *full-set* target groups are invalidated (their bboxes went stale) and
+  /// rebuilt lazily on next request — the sub-step loop itself walks the
+  /// per-call active groups below, whose bboxes are always current. A
+  /// gravity tree holding LET imports cannot be position-refreshed (the
+  /// import set has no local backing array) and is invalidated instead.
+  void refreshGravityPositions(std::span<const Particle> particles);
+  void refreshGasPositions(std::span<const Particle> work);
+
+  /// Morton-ordered target groups over an explicit active subset (indices
+  /// into the particle array), built into member storage to keep the
+  /// allocation churn bounded; the reference is valid until the next call
+  /// on the same slot. Gravity and gas actives use separate slots so one
+  /// sub-step can hold both. The gas slot caches by subset *content*: the
+  /// density and hydro-force passes of one sub-step call with the same
+  /// active set and no intervening drift, so the second call is a hit.
+  /// invalidate() and the position refreshes clear it (positions moved, so
+  /// the bboxes went stale even for an identical subset).
+  const std::vector<TargetGroup>& activeGravityGroups(
+      std::span<const Particle> particles, std::span<const std::uint32_t> subset,
+      int group_size);
+  const std::vector<TargetGroup>& activeGasGroups(std::span<const Particle> work,
+                                                  std::span<const std::uint32_t> subset,
+                                                  int group_size);
+
   [[nodiscard]] ThreadArena& arena(int tid) { return arenas_[static_cast<std::size_t>(tid)]; }
   [[nodiscard]] int numArenas() const { return static_cast<int>(arenas_.size()); }
 
@@ -137,6 +163,10 @@ class StepContext {
  private:
   SourceTree gravity_tree_, gas_tree_;
   std::vector<TargetGroup> gravity_groups_, gas_groups_;
+  std::vector<TargetGroup> active_gravity_groups_, active_gas_groups_;
+  std::vector<std::uint32_t> active_gas_subset_;  ///< content key of the gas slot
+  bool active_gas_groups_valid_ = false;
+  int active_gas_gs_ = 0;
 
   bool gravity_tree_valid_ = false, gas_tree_valid_ = false;
   bool gravity_groups_valid_ = false, gas_groups_valid_ = false;

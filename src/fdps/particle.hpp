@@ -55,8 +55,8 @@ struct Particle {
   double metal = 0.0;     ///< metal mass fraction
 
   // --- bookkeeping ---
-  double dt_local = 0.0;  ///< individual timestep (conventional baseline)
   std::uint8_t frozen = 0;  ///< inside a pending surrogate region
+  std::uint8_t rung = 0;    ///< block-timestep rung k: dt = dt_global / 2^k
 
   [[nodiscard]] bool isGas() const { return type == Species::Gas; }
   [[nodiscard]] bool isStar() const { return type == Species::Star; }

@@ -448,6 +448,27 @@ void SourceTree::computeMoments() {
   }
 }
 
+void SourceTree::refreshPositions(std::span<const Particle> particles) {
+  const auto n_entries = static_cast<std::int64_t>(entries_.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n_entries; ++i) {
+    SourceEntry& e = entries_[static_cast<std::size_t>(i)];
+    if (e.isMultipole() || e.idx >= particles.size()) continue;
+    const Particle& p = particles[e.idx];
+    e.pos = p.pos;
+    e.h = p.isGas() ? p.h : 0.0;
+  }
+  // Leaves rescan their (short) entry ranges in parallel; the internal nodes
+  // then reduce over children in computeMoments' reverse bottom-up sweep.
+  const auto n_nodes = static_cast<std::int64_t>(nodes_.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < n_nodes; ++i) {
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.isLeaf()) leafMoments(n, entries_);
+  }
+  computeMoments();
+}
+
 void SourceTree::refreshSmoothing(std::span<const Particle> particles) {
   const auto n_entries = static_cast<std::int64_t>(entries_.size());
 #pragma omp parallel for schedule(static)
@@ -555,16 +576,14 @@ void SourceTree::exportLet(const Box& remote_box, double theta,
   }
 }
 
-std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
-                                          int group_size, bool gas_only) {
+namespace {
+
+/// Shared tail of both makeTargetGroups overloads: Morton-sort `sel` by the
+/// particles' current positions and chunk into group_size runs.
+std::vector<TargetGroup> groupsFromSelection(std::span<const Particle> particles,
+                                             std::span<const std::uint32_t> sel,
+                                             const Box& all, int group_size) {
   std::vector<TargetGroup> groups;
-  std::vector<std::uint32_t> sel;
-  Box all;
-  for (std::uint32_t i = 0; i < particles.size(); ++i) {
-    if (gas_only && !particles[i].isGas()) continue;
-    sel.push_back(i);
-    all.extend(particles[i].pos);
-  }
   if (sel.empty()) return groups;
   const Box cube = all.boundingCube();
   // Keys are computed once into a buffer — the old comparator re-derived the
@@ -594,6 +613,28 @@ std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
     for (const std::uint32_t i : grp.indices) grp.bbox.extend(particles[i].pos);
   }
   return groups;
+}
+
+}  // namespace
+
+std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
+                                          int group_size, bool gas_only) {
+  std::vector<std::uint32_t> sel;
+  Box all;
+  for (std::uint32_t i = 0; i < particles.size(); ++i) {
+    if (gas_only && !particles[i].isGas()) continue;
+    sel.push_back(i);
+    all.extend(particles[i].pos);
+  }
+  return groupsFromSelection(particles, sel, all, group_size);
+}
+
+std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
+                                          std::span<const std::uint32_t> subset,
+                                          int group_size) {
+  Box all;
+  for (const std::uint32_t i : subset) all.extend(particles[i].pos);
+  return groupsFromSelection(particles, subset, all, group_size);
 }
 
 std::vector<SourceEntry> makeSourceEntries(std::span<const Particle> particles,

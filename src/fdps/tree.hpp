@@ -77,6 +77,18 @@ class SourceTree {
   /// build(); multipole entries (LET imports) keep their h.
   void refreshSmoothing(std::span<const Particle> particles);
 
+  /// Refresh entry positions (and h) from the originating particle array and
+  /// recompute every node moment (bbox, mass-weighted com, max_h) bottom-up
+  /// — an O(N + nodes) sweep instead of a rebuild. The Morton topology and
+  /// entry order are kept, so after large displacements the tree degrades in
+  /// *quality* (looser bboxes, longer walks) but never in *correctness*:
+  /// MAC distances and neighbour reach tests always use the recomputed
+  /// boxes. Used by the block-timestep sub-step loop, where particles drift
+  /// a little every sub-step and a full rebuild per sub-step would erase the
+  /// active-set savings. Only valid for trees built without LET imports
+  /// (entry idx must reference `particles`).
+  void refreshPositions(std::span<const Particle> particles);
+
   [[nodiscard]] const std::vector<SourceEntry>& entries() const { return entries_; }
   [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
@@ -140,6 +152,15 @@ struct TargetGroup {
 std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
                                           int group_size,
                                           bool gas_only = false);
+
+/// Active-subset variant: group only the particles named by `subset`
+/// (indices into `particles`), Morton-sorted by their *current* positions so
+/// group bboxes are exact even while the cached source trees run on
+/// refreshed-in-place moments. This is what the block-timestep sub-steps use
+/// to walk only the active rungs.
+std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
+                                          std::span<const std::uint32_t> subset,
+                                          int group_size);
 
 /// Convenience: build gravity source entries from local particles.
 std::vector<SourceEntry> makeSourceEntries(std::span<const Particle> particles,

@@ -133,19 +133,16 @@ GravityStats accumulateTreeGravity(std::span<Particle> particles,
   return accumulateTreeGravity(ctx, particles, let_entries, params);
 }
 
-GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
-                                   std::span<const SourceEntry> let_entries,
-                                   const GravityParams& params) {
-  GravityStats stats;
-  if (particles.empty()) return stats;
+namespace {
 
-  const int builds_before = ctx.buildsThisStep();
-  const double t0 = util::wtime();
-  const fdps::SourceTree& tree = ctx.gravityTree(particles, let_entries, params.leaf_size);
-  const auto& groups = ctx.gravityGroups(particles, params.group_size);
-  stats.t_build = util::wtime() - t0;
-  stats.tree_builds = ctx.buildsThisStep() - builds_before;
-
+/// Shared group loop of the cached-pipeline overloads: evaluate the force on
+/// every target group in `groups` against the (already built or refreshed)
+/// source tree. `stats` arrives with t_build/tree_builds filled by the
+/// caller.
+void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
+                       const std::vector<fdps::TargetGroup>& groups,
+                       std::span<Particle> particles, const GravityParams& params,
+                       GravityStats& stats) {
   const auto& entries = tree.entries();
   std::uint64_t ep_total = 0, sp_total = 0;
   double walk_s = 0.0, kernel_s = 0.0;
@@ -242,6 +239,40 @@ GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> p
   stats.sp_interactions = sp_total;
   stats.t_walk = walk_s;
   stats.t_kernel = kernel_s;
+}
+
+}  // namespace
+
+GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params) {
+  GravityStats stats;
+  if (particles.empty()) return stats;
+
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const fdps::SourceTree& tree = ctx.gravityTree(particles, let_entries, params.leaf_size);
+  const auto& groups = ctx.gravityGroups(particles, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  gravityOverGroups(ctx, tree, groups, particles, params, stats);
+  return stats;
+}
+
+GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params,
+                                   std::span<const std::uint32_t> active) {
+  GravityStats stats;
+  if (particles.empty() || active.empty()) return stats;
+
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const fdps::SourceTree& tree = ctx.gravityTree(particles, let_entries, params.leaf_size);
+  const auto& groups = ctx.activeGravityGroups(particles, active, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  gravityOverGroups(ctx, tree, groups, particles, params, stats);
   return stats;
 }
 

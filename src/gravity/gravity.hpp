@@ -71,6 +71,16 @@ GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> p
                                    std::span<const SourceEntry> let_entries,
                                    const GravityParams& params);
 
+/// Active-set overload (block timesteps): accumulate into only the particles
+/// named by `active` (indices into `particles`), walking Morton groups built
+/// over the subset. The cached source tree is reused as-is — pair it with
+/// StepContext::refreshGravityPositions after each drift so the moments
+/// match the drifted source positions without a rebuild.
+GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> particles,
+                                   std::span<const SourceEntry> let_entries,
+                                   const GravityParams& params,
+                                   std::span<const std::uint32_t> active);
+
 /// Single-group kernel (exposed for microbenchmarks / PIKG comparison):
 /// computes acc/pot of `n_targets` positions against EP + SP lists.
 void evalGroupScalarF64(const Vec3d* target_pos, const double* target_eps, int n_targets,

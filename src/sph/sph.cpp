@@ -14,26 +14,18 @@ namespace asura::sph {
 
 using fdps::SourceEntry;
 using fdps::SourceTree;
+using fdps::TargetGroup;
 using util::ompThreadId;
 using util::Vec3d;
 
-DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
-                          const SphParams& params) {
-  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
-  return solveDensity(ctx, work, n_local, params);
-}
+namespace {
 
-DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
-                          std::size_t n_local, const SphParams& params) {
-  DensityStats stats;
-  const int builds_before = ctx.buildsThisStep();
-  const double t0 = util::wtime();
-  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
-  if (tree.empty()) return stats;
-  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
-  stats.t_build = util::wtime() - t0;
-  stats.tree_builds = ctx.buildsThisStep() - builds_before;
-
+/// Group loop of the density solve, shared by the full-set and active-set
+/// overloads. `stats` arrives with t_build/tree_builds filled by the caller.
+void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
+                       const std::vector<TargetGroup>& groups,
+                       std::span<Particle> work, const SphParams& params,
+                       DensityStats& stats) {
   const auto& entries = tree.entries();
   int max_iter = 0;
   std::uint64_t interactions = 0;
@@ -46,65 +38,82 @@ DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
 #pragma omp for schedule(dynamic)
     for (std::size_t g = 0; g < groups.size(); ++g) {
       const auto& grp = groups[g];
-      // Kernel time is accounted per group (not per particle) to keep the
-      // clock reads off the hot path; regathers accrue to walk_s inside the
-      // window and are subtracted at the end so the categories partition.
       const double tg0 = util::wtime();
       const double walk_at_g0 = walk_s;
+
+      // Group-shared candidate gather: one tree walk with the group's
+      // maximum support (+30% closure margin) serves every member, and the
+      // candidates are staged into SoA once per (group, radius). The seed
+      // closure instead re-walked the tree and radius-sorted the candidates
+      // per particle per H change — the counting the closure needs is done
+      // below by a vectorized compare over squared distances, so a regather
+      // only happens when some member's H outgrows the shared radius.
+      double search = 0.0;
+      auto gatherGroup = [&](double radius) {
+        search = radius;
+        const double tw = util::wtime();
+        a.idx.clear();
+        tree.gatherNeighbors(grp.bbox, search, a.idx);
+        walk_s += util::wtime() - tw;
+        const std::size_t nc = a.idx.size();
+        a.sx.resize(nc); a.sy.resize(nc); a.sz.resize(nc); a.sm.resize(nc);
+        a.qvx.resize(nc); a.qvy.resize(nc); a.qvz.resize(nc);
+        for (std::size_t j = 0; j < nc; ++j) {
+          const SourceEntry& s = entries[a.idx[j]];
+          const Particle& q = work[s.idx];
+          a.sx[j] = s.pos.x; a.sy[j] = s.pos.y; a.sz[j] = s.pos.z;
+          a.sm[j] = s.mass;
+          a.qvx[j] = q.vel.x; a.qvy[j] = q.vel.y; a.qvz[j] = q.vel.z;
+        }
+      };
+      double group_h = 0.0;
+      for (const auto pi : grp.indices) group_h = std::max(group_h, work[pi].h);
+      gatherGroup(1.3 * group_h);
+
       for (const auto pi : grp.indices) {
         Particle& p = work[pi];
+        const double px = p.pos.x, py = p.pos.y, pz = p.pos.z;
 
-        // Neighbour-count closure solved on the *sorted radii*: counting
-        // N(H) = #{r < H} needs no kernel evaluations, is exactly monotone
-        // in H, and therefore converges in a handful of closure-scaled /
-        // bisection steps even though N is a noisy step function — the
-        // discreteness that defeats a pure Newton iteration on rho(H).
-        // Acceptance band +-max(2, 5%) neighbours, standard in SPH codes.
-        double H = p.h;
-        double search = 0.0;
-        a.by_r.clear();
-        auto regather = [&](double radius) {
-          search = radius;
-          a.idx.clear();
-          fdps::Box pt;
-          pt.extend(p.pos);
-          const double tw = util::wtime();
-          tree.gatherNeighbors(pt, search, a.idx);
-          walk_s += util::wtime() - tw;
-          // Candidates restaged into SoA so the distance pass vectorizes.
+        // Per-particle squared distances over the shared SoA. Counts are
+        // exact for any H <= search: every source within `search` of the
+        // group box (hence of any member) is staged.
+        auto distances = [&] {
           const std::size_t nc = a.idx.size();
-          a.sx.resize(nc); a.sy.resize(nc); a.sz.resize(nc);
-          for (std::size_t j = 0; j < nc; ++j) {
-            const Vec3d& q = entries[a.idx[j]].pos;
-            a.sx[j] = q.x; a.sy[j] = q.y; a.sz[j] = q.z;
-          }
           a.r2.resize(nc);
-          const double px = p.pos.x, py = p.pos.y, pz = p.pos.z;
 #pragma omp simd
           for (std::size_t j = 0; j < nc; ++j) {
             const double dx = px - a.sx[j];
             const double dy = py - a.sy[j];
             const double dz = pz - a.sz[j];
-            a.r2[j] = std::sqrt(dx * dx + dy * dy + dz * dz);
+            a.r2[j] = dx * dx + dy * dy + dz * dz;
           }
-          a.by_r.clear();
-          a.by_r.reserve(nc);
-          for (std::size_t j = 0; j < nc; ++j) a.by_r.emplace_back(a.r2[j], a.idx[j]);
-          std::sort(a.by_r.begin(), a.by_r.end());
         };
-        auto prefixEnd = [&](double radius) {
-          return std::upper_bound(a.by_r.begin(), a.by_r.end(),
-                                  std::pair<double, std::uint32_t>{radius, 0xffffffffu});
-        };
+        distances();
         auto countWithin = [&](double radius) {
-          return static_cast<int>(prefixEnd(radius * (1.0 - 1e-15)) - a.by_r.begin());
+          const double cut = radius * (1.0 - 1e-15);
+          const double cut2 = cut * cut;
+          const std::size_t nc = a.r2.size();
+          int c = 0;
+#pragma omp simd reduction(+ : c)
+          for (std::size_t j = 0; j < nc; ++j) c += a.r2[j] <= cut2 ? 1 : 0;
+          return c;
         };
 
+        // Neighbour-count closure solved on counts of N(H) = #{r < H}: the
+        // count needs no kernel evaluations, is exactly monotone in H, and
+        // converges in a handful of closure-scaled / bisection steps even
+        // though N is a noisy step function — the discreteness that defeats
+        // a pure Newton iteration on rho(H). Acceptance band
+        // +-max(2, 5%) neighbours, standard in SPH codes.
+        double H = p.h;
         const int tol = std::max(2, params.n_ngb / 20);
         double lo = 0.0, hi = 0.0;  // bracket (hi == 0: not yet found)
         int it = 0;
         for (; it < params.max_h_iterations; ++it) {
-          if (H > search) regather(1.3 * H);
+          if (H > search) {
+            gatherGroup(1.3 * H);
+            distances();
+          }
           const int cnt = countWithin(H);
           if (std::abs(cnt - params.n_ngb) <= tol) break;
           if (cnt > params.n_ngb) {
@@ -137,26 +146,35 @@ DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
         }
         max_iter = std::max(max_iter, it + 1);
 
-        // Final gather statistics with the converged support.
-        if (H > search) regather(H);
+        // Final gather statistics with the converged support: compact the
+        // survivors, then one scalar pass for the kernel sums.
+        if (H > search) {
+          gatherGroup(1.3 * H);
+          distances();
+        }
+        const double cut = H * (1.0 - 1e-15);
+        const double cut2 = cut * cut;
+        a.sel.clear();
+        const std::size_t nc = a.r2.size();
+        for (std::size_t j = 0; j < nc; ++j) {
+          if (a.r2[j] <= cut2) a.sel.push_back(static_cast<std::uint32_t>(j));
+        }
         int nngb = 0;
         double rho = 0.0;
         double div = 0.0;
         Vec3d curl{};
-        const auto end = prefixEnd(H * (1.0 - 1e-15));
-        for (auto c = a.by_r.begin(); c != end; ++c) {
-          const SourceEntry& s = entries[c->second];
-          const Particle& q = work[s.idx];
-          const Vec3d dr = p.pos - q.pos;
-          const double r = c->first;
+        for (const auto j : a.sel) {
+          const double r = std::sqrt(a.r2[j]);
           ++nngb;
-          rho += q.mass * params.kernel.w(r, H);
+          rho += a.sm[j] * params.kernel.w(r, H);
           if (r > 0.0) {
+            const Vec3d dr{px - a.sx[j], py - a.sy[j], pz - a.sz[j]};
             const double dwdr = params.kernel.dwdr(r, H);
             const Vec3d gradW = (dwdr / r) * dr;
-            const Vec3d dv = p.vel - q.vel;
-            div -= q.mass * dv.dot(gradW);
-            curl -= q.mass * dv.cross(gradW);
+            const Vec3d dv{p.vel.x - a.qvx[j], p.vel.y - a.qvy[j],
+                           p.vel.z - a.qvz[j]};
+            div -= a.sm[j] * dv.dot(gradW);
+            curl -= a.sm[j] * dv.cross(gradW);
           }
           ++interactions;
         }
@@ -180,31 +198,20 @@ DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
   stats.interactions = interactions;
   stats.t_walk = walk_s;
   stats.t_kernel = kernel_s;
-  return stats;
 }
 
-ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
-                                const SphParams& params) {
-  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
-  return accumulateHydroForce(ctx, work, n_local, params);
-}
-
-ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
-                                std::size_t n_local, const SphParams& params) {
-  ForceStats stats;
-  const int builds_before = ctx.buildsThisStep();
-  const double t0 = util::wtime();
-  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
-  if (tree.empty()) return stats;
-  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
-  stats.t_build = util::wtime() - t0;
-  stats.tree_builds = ctx.buildsThisStep() - builds_before;
-
+/// Group loop of the hydro force, shared by the full-set and active-set
+/// overloads.
+void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
+                     const std::vector<TargetGroup>& groups,
+                     std::span<Particle> work, const SphParams& params,
+                     ForceStats& stats) {
   const auto& entries = tree.entries();
   std::uint64_t interactions = 0;
   double walk_s = 0.0, kernel_s = 0.0;
+  double dt_cfl = std::numeric_limits<double>::infinity();
 
-#pragma omp parallel reduction(+ : interactions, walk_s, kernel_s)
+#pragma omp parallel reduction(+ : interactions, walk_s, kernel_s) reduction(min : dt_cfl)
   {
     fdps::ThreadArena& a = ctx.arena(ompThreadId());
 
@@ -317,6 +324,9 @@ ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work
         p.acc += acc;
         p.du_dt = dudt;
         p.vsig = vsig;
+        // The adaptive baseline's CFL minimum falls out of this pass for
+        // free — no separate full-particle cflTimestep sweep needed.
+        if (vsig > 0.0) dt_cfl = std::min(dt_cfl, params.cfl * 0.5 * Hi / vsig);
       }
       kernel_s += util::wtime() - tk;
     }
@@ -325,6 +335,82 @@ ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work
   stats.interactions = interactions;
   stats.t_walk = walk_s;
   stats.t_kernel = kernel_s;
+  stats.dt_cfl_min = dt_cfl;
+}
+
+}  // namespace
+
+DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
+                          const SphParams& params) {
+  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
+  return solveDensity(ctx, work, n_local, params);
+}
+
+DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
+                          std::size_t n_local, const SphParams& params) {
+  DensityStats stats;
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  densityOverGroups(ctx, tree, groups, work, params, stats);
+  return stats;
+}
+
+DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
+                          std::size_t n_local, const SphParams& params,
+                          std::span<const std::uint32_t> active) {
+  (void)n_local;  // the subset names the targets explicitly
+  DensityStats stats;
+  if (active.empty()) return stats;
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+  const auto& groups = ctx.activeGasGroups(work, active, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  densityOverGroups(ctx, tree, groups, work, params, stats);
+  return stats;
+}
+
+ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
+                                const SphParams& params) {
+  fdps::StepContext ctx;  // throwaway context: build-per-call semantics
+  return accumulateHydroForce(ctx, work, n_local, params);
+}
+
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params) {
+  ForceStats stats;
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+  const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  hydroOverGroups(ctx, tree, groups, work, params, stats);
+  return stats;
+}
+
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params,
+                                std::span<const std::uint32_t> active) {
+  (void)n_local;
+  ForceStats stats;
+  if (active.empty()) return stats;
+  const int builds_before = ctx.buildsThisStep();
+  const double t0 = util::wtime();
+  const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
+  if (tree.empty()) return stats;
+  const auto& groups = ctx.activeGasGroups(work, active, params.group_size);
+  stats.t_build = util::wtime() - t0;
+  stats.tree_builds = ctx.buildsThisStep() - builds_before;
+  hydroOverGroups(ctx, tree, groups, work, params, stats);
   return stats;
 }
 

@@ -12,6 +12,7 @@
 /// interaction, 101 per hydro-force interaction.
 
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "fdps/context.hpp"
@@ -50,6 +51,11 @@ struct ForceStats {
   double t_build = 0.0;  ///< seconds: tree + group construction
   double t_walk = 0.0;   ///< seconds: neighbour gathering, summed over threads
   double t_kernel = 0.0; ///< seconds: force kernel, summed over threads
+  /// Minimum CFL timestep over the evaluated targets, folded into the force
+  /// pass (cfl * (h/2) / vsig) so the adaptive baseline no longer needs a
+  /// separate full-particle cflTimestep sweep per step. +inf when no gas
+  /// target was evaluated.
+  double dt_cfl_min = std::numeric_limits<double>::infinity();
   [[nodiscard]] double flops() const { return 101.0 * static_cast<double>(interactions); }
 };
 
@@ -66,6 +72,15 @@ DensityStats solveDensity(std::span<Particle> work, std::size_t n_local,
 DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
                           std::size_t n_local, const SphParams& params);
 
+/// Active-set overload (block timesteps): solve h/rho for only the gas
+/// particles named by `active` (indices into `work`, all gas), walking
+/// Morton groups built over the subset while reusing the cached gas tree as
+/// the neighbour source. Inactive neighbours contribute with their held
+/// rho/h, as in standard individual-timestep SPH.
+DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
+                          std::size_t n_local, const SphParams& params,
+                          std::span<const std::uint32_t> active);
+
 /// Accumulate hydrodynamic accelerations and du/dt into local gas particles;
 /// also records the max signal velocity (Particle::vsig) for the CFL clock.
 /// Requires density/pressure fields to be current on locals AND ghosts.
@@ -76,7 +91,16 @@ ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
 ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
                                 std::size_t n_local, const SphParams& params);
 
-/// Minimum CFL timestep over local gas: dt = cfl * (h/2) / vsig.
+/// Active-set overload (block timesteps): accumulate hydro accelerations
+/// into only the gas particles named by `active`.
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params,
+                                std::span<const std::uint32_t> active);
+
+/// Minimum CFL timestep over local gas: dt = cfl * (h/2) / vsig. Note the
+/// same minimum now also falls out of the force pass (ForceStats::dt_cfl_min)
+/// — prefer that in step loops; this standalone sweep remains for tests and
+/// cold starts.
 double cflTimestep(std::span<const Particle> gas, const SphParams& params);
 
 /// Largest gather support among local gas (ghost-exchange margin).
