@@ -103,6 +103,11 @@ void BM_SnBlastwaveHierarchical(benchmark::State& state) {
   SimulationConfig cfg = blastConfig();
   cfg.hierarchical_timestep = true;
   cfg.max_rung = 10;
+  // Pin the PR 2 configuration: this benchmark documents the PR 2 parity
+  // result (blanket margin, no limiter), independent of the PR 3 defaults.
+  // The limiter's own trade is recorded by bench_timestep_limiter.
+  cfg.timestep_limiter = false;
+  cfg.rung_safety = 0.35;
   runBlastwave(state, cfg, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_SnBlastwaveHierarchical)->Arg(8000)->Unit(benchmark::kMillisecond);
@@ -133,6 +138,8 @@ void BM_QuietBallHierarchical(benchmark::State& state) {
   SimulationConfig cfg = blastConfig();
   cfg.hierarchical_timestep = true;
   cfg.max_rung = 10;
+  cfg.timestep_limiter = false;  // PR 2 configuration, as above
+  cfg.rung_safety = 0.35;
   runQuiet(state, cfg, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_QuietBallHierarchical)->Arg(8000)->Unit(benchmark::kMillisecond);

@@ -26,7 +26,11 @@ Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
 }
 
 StepStats Simulation::step() {
-  StepStats stats;
+  // Full reset of the persistent lastStats() member: a run that alternates
+  // hierarchical on/off must never see the previous mode's rung histogram,
+  // sub-step counters or limiter tallies leak into this step's report.
+  stats_ = StepStats{};
+  StepStats& stats = stats_;
   step_ctx_.beginStep();
   double dt = cfg_.dt_global;
   if (cfg_.adaptive_timestep && !cfg_.hierarchical_timestep) {
@@ -130,6 +134,13 @@ StepStats Simulation::step() {
   // valid and this pass performs no builds at all.
   computeForces(stats, /*first_pass=*/false);
 
+  // Sync half of the limiter: rungs this final pass still saw lagging are
+  // promoted in place, so the state published at the step boundary already
+  // satisfies the pair-gap invariant the next assignment would enforce.
+  if (cfg_.hierarchical_timestep && cfg_.timestep_limiter) {
+    applySyncRungFloor(stats);
+  }
+
   stats.tree_builds = step_ctx_.buildsThisStep();
   stats.tree_refreshes = step_ctx_.refreshesThisStep();
   t_ += dt;
@@ -161,6 +172,7 @@ void accumulate(sph::ForceStats& into, const sph::ForceStats& fs) {
 void accumulate(gravity::GravityStats& into, const gravity::GravityStats& gs) {
   into.ep_interactions += gs.ep_interactions;
   into.sp_interactions += gs.sp_interactions;
+  into.targets += gs.targets;
   into.tree_builds += gs.tree_builds;
   into.t_build += gs.t_build;
   into.t_walk += gs.t_walk;
@@ -174,7 +186,11 @@ int Simulation::desiredRung(const fdps::Particle& p, double dt_global) const {
   double want = dt_global;
   const double a = p.acc.norm();
   if (a > 0.0) {
-    want = std::min(want, cfg_.rung_safety * cfg_.eta_acc * std::sqrt(p.eps / a));
+    // The accel criterion carries its own margin in eta_acc: the limiter is
+    // a hydro mechanism, so relaxing rung_safety must not loosen the
+    // gravitational clock (eta_acc's default equals PR 2's effective
+    // 0.35 * 0.3).
+    want = std::min(want, cfg_.eta_acc * std::sqrt(p.eps / a));
   }
   if (p.isGas()) {
     // Per-particle CFL clock from the vsig the last hydro pass recorded —
@@ -191,23 +207,185 @@ int Simulation::desiredRung(const fdps::Particle& p, double dt_global) const {
     dt_k *= 0.5;
     ++k;
   }
+  if (cfg_.timestep_limiter && p.isGas()) {
+    // Limiter floor: never schedule a step more than 2^kLimiterGap longer
+    // than the deepest neighbour the last hydro pass saw. This is the
+    // between-steps half of Saitoh & Makino (2009); mid-step violations are
+    // handled by the wake queue.
+    k = std::clamp(std::max(k, static_cast<int>(p.rung_ngb) - sph::kLimiterGap), 0,
+                   kmax);
+  }
   return k;
+}
+
+void Simulation::collectClosingSet(long n, StepStats& stats) {
+  // Fixed-size chunks (independent of the thread count) with a serial
+  // prefix scan between the count and fill passes: the output is the exact
+  // index-ascending order a serial scan would produce, so positions, rung
+  // histograms and every downstream kick are bitwise reproducible at any
+  // OMP_NUM_THREADS.
+  constexpr std::int64_t kChunk = 4096;
+  const auto n_parts = static_cast<std::int64_t>(parts_.size());
+  const std::int64_t n_chunks = (n_parts + kChunk - 1) / kChunk;
+  sweep_counts_.assign(static_cast<std::size_t>(2 * n_chunks), 0);
+
+  std::uint64_t evals[kMaxRungs] = {};
+#pragma omp parallel for schedule(static) reduction(+ : evals[:kMaxRungs])
+  for (std::int64_t c = 0; c < n_chunks; ++c) {
+    const std::int64_t lo = c * kChunk;
+    const std::int64_t hi = std::min(lo + kChunk, n_parts);
+    std::uint32_t n_all = 0, n_gas = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto& p = parts_[static_cast<std::size_t>(i)];
+      if (step_end_[static_cast<std::size_t>(i)] != n) continue;
+      ++n_all;
+      if (p.isGas()) ++n_gas;
+      ++evals[p.rung];
+    }
+    sweep_counts_[static_cast<std::size_t>(2 * c)] = n_all;
+    sweep_counts_[static_cast<std::size_t>(2 * c + 1)] = n_gas;
+  }
+  for (int k = 0; k < kMaxRungs; ++k) {
+    stats.rung_force_evals[static_cast<std::size_t>(k)] += evals[k];
+  }
+
+  std::uint32_t total_all = 0, total_gas = 0;
+  for (std::int64_t c = 0; c < n_chunks; ++c) {
+    const std::uint32_t ca = sweep_counts_[static_cast<std::size_t>(2 * c)];
+    const std::uint32_t cg = sweep_counts_[static_cast<std::size_t>(2 * c + 1)];
+    sweep_counts_[static_cast<std::size_t>(2 * c)] = total_all;
+    sweep_counts_[static_cast<std::size_t>(2 * c + 1)] = total_gas;
+    total_all += ca;
+    total_gas += cg;
+  }
+  active_idx_.resize(total_all);
+  active_gas_idx_.resize(total_gas);
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t c = 0; c < n_chunks; ++c) {
+    const std::int64_t lo = c * kChunk;
+    const std::int64_t hi = std::min(lo + kChunk, n_parts);
+    std::uint32_t at_all = sweep_counts_[static_cast<std::size_t>(2 * c)];
+    std::uint32_t at_gas = sweep_counts_[static_cast<std::size_t>(2 * c + 1)];
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const auto& p = parts_[static_cast<std::size_t>(i)];
+      if (step_end_[static_cast<std::size_t>(i)] != n) continue;
+      active_idx_[at_all++] = static_cast<std::uint32_t>(i);
+      if (p.isGas()) active_gas_idx_[at_gas++] = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+namespace {
+
+/// Walk a sorted wake-request list and hand each lagging neighbour to
+/// `visit(j, k_req)` with k_req = max over its requesters' *current* rungs.
+/// Requests arrive sorted by (neighbour, target), so the traversal order —
+/// and with it the resolution, even where a visit promotes a particle that
+/// a later group reads as a requester — is deterministic for any thread
+/// count. Shared by the mid-step wake sweep and the sync-point floor so the
+/// grouping rule cannot diverge between them.
+template <class Visit>
+void forEachWakeNeighbour(const std::vector<std::uint64_t>& requests,
+                          const std::vector<fdps::Particle>& parts, Visit&& visit) {
+  std::size_t r = 0;
+  while (r < requests.size()) {
+    const std::uint32_t j = sph::wakeNeighbour(requests[r]);
+    int k_req = 0;
+    for (; r < requests.size() && sph::wakeNeighbour(requests[r]) == j; ++r) {
+      k_req = std::max(k_req,
+                       static_cast<int>(parts[sph::wakeTarget(requests[r])].rung));
+    }
+    visit(j, k_req);
+  }
+}
+
+}  // namespace
+
+void Simulation::applyWakes(long n, long nfull, double dt_min, int kmax,
+                            StepStats& stats) {
+  if (wake_requests_.empty()) return;
+  forEachWakeNeighbour(wake_requests_, parts_, [&](std::uint32_t j, int k_req) {
+    auto& p = parts_[j];
+    const std::size_t js = static_cast<std::size_t>(j);
+    if (step_end_[js] == n) return;  // closed this sub-step: already fresh
+    const int k_target = std::clamp(k_req - sph::kLimiterGap, 0, kmax);
+    if (static_cast<int>(p.rung) >= k_target) return;  // gap already closed
+
+    // Saitoh & Makino (2009) step-shortening: the laggard's step in flight
+    // is re-planned to end at the next boundary of its new rung — the first
+    // multiple of stride_new after n, which the loop provably reaches
+    // because the laggard's own rung now keeps k_deep >= k_target until
+    // then. The opening updates it already received were sized for the old
+    // (longer) plan and are corrected below on the held derivatives.
+    // Positions need no fixup: every particle drifts every sub-step.
+    const long stride_new = nfull >> k_target;
+    const long end_new = (n / stride_new + 1) * stride_new;
+    if (end_new >= step_end_[js]) {
+      // Its own closing comes no later than the shortened plan would —
+      // just deepen the rung so the closing update starts from the
+      // limiter-consistent level.
+      p.rung = static_cast<std::uint8_t>(k_target);
+      return;
+    }
+    const double dl = dt_min * static_cast<double>(end_new - step_end_[js]);
+    p.vel += 0.5 * dl * p.acc;
+    if (p.isGas() && !p.frozen) {
+      // The opening issued a *full* forward u update for the old plan; the
+      // velocity only its half-kick — each is corrected by its own share of
+      // the length change. u_pred needs nothing: it tracks the current
+      // time, which the wake does not move.
+      p.u = std::max(p.u + dl * p.du_dt, 1e-12);
+    }
+    step_end_[js] = end_new;
+    p.rung = static_cast<std::uint8_t>(k_target);
+    ++stats.limiter_wakes;
+  });
+  // Woken particles join the next closing set: the content-keyed active
+  // group cache must not serve the pre-wake subset.
+  step_ctx_.invalidateActiveGroups();
+}
+
+void Simulation::applySyncRungFloor(StepStats& stats) {
+  const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
+  forEachWakeNeighbour(wake_requests_, parts_, [&](std::uint32_t j, int k_req) {
+    const int k_target = std::min(k_req - sph::kLimiterGap, kmax);
+    auto& p = parts_[j];
+    if (static_cast<int>(p.rung) >= k_target) return;
+    p.rung = static_cast<std::uint8_t>(k_target);
+    ++stats.limiter_sync_promotions;
+  });
+  wake_requests_.clear();
 }
 
 void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
   const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
   const long nfull = 1L << kmax;
   const double dt_min = dt / static_cast<double>(nfull);
+  const auto n_parts = static_cast<std::int64_t>(parts_.size());
 
   // Rung assignment at the sync point: every boundary is aligned at n = 0,
   // so each particle takes its criterion rung directly. The first step ever
   // has acc = vsig = 0 and lands everything on rung 0, exactly like the
-  // seed's first kick with zero initial accelerations.
+  // seed's first kick with zero initial accelerations. Parallel sweep:
+  // per-particle assignment is independent and the histogram reduces over
+  // integers, so any thread count produces the identical result.
   {
     util::TimerRegistry::Scope scope(timers_, "Integration");
-    for (auto& p : parts_) {
+    step_begin_.assign(parts_.size(), 0);
+    step_end_.assign(parts_.size(), 0);  // "opens at sub-unit 0"
+    int hist[kMaxRungs] = {};
+#pragma omp parallel for schedule(static) reduction(+ : hist[:kMaxRungs])
+    for (std::int64_t i = 0; i < n_parts; ++i) {
+      auto& p = parts_[static_cast<std::size_t>(i)];
       p.rung = static_cast<std::uint8_t>(desiredRung(p, dt));
-      ++stats.rung_histogram[p.rung];
+      ++hist[p.rung];
+      // Sync point: u is authoritative again (cooling, surrogate replacement
+      // and direct feedback all act between steps), so prediction restarts.
+      if (p.isGas()) p.u_pred = p.u;
+    }
+    for (int k = 0; k < kMaxRungs; ++k) {
+      stats.rung_histogram[static_cast<std::size_t>(k)] += hist[k];
     }
   }
 
@@ -220,18 +398,31 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
   bool first_sub = true;
   while (n < nfull) {
     // Opening kick for particles whose step starts at n (their own dt/2 and
-    // the gas u predictor), fused with the deepest-occupied-rung scan that
-    // sets this sub-step's size. Inactive particles are untouched: they
-    // keep coasting on their held acceleration ("drifted by prediction").
+    // the full forward u update for gas), fused with the deepest-
+    // occupied-rung scan that sets this sub-step's size. Inactive particles
+    // are untouched: they keep coasting on their held acceleration ("drifted
+    // by prediction"). Openings are recognized from the explicit per-
+    // particle step bookkeeping — after a mid-step wake shortened a step,
+    // rung alignment alone no longer describes who opens where.
     int k_deep = 0;
     {
       util::TimerRegistry::Scope scope(timers_, "Integration");
-      for (auto& p : parts_) {
+#pragma omp parallel for schedule(static) reduction(max : k_deep)
+      for (std::int64_t i = 0; i < n_parts; ++i) {
+        auto& p = parts_[static_cast<std::size_t>(i)];
         k_deep = std::max(k_deep, static_cast<int>(p.rung));
-        if (!aligned(n, p.rung)) continue;
+        const auto is = static_cast<std::size_t>(i);
+        if (step_end_[is] != n) continue;
+        step_begin_[is] = n;
+        step_end_[is] = n + (nfull >> p.rung);
         const double dt_p = dt_min * static_cast<double>(nfull >> p.rung);
         p.vel += 0.5 * dt_p * p.acc;
         if (p.isGas() && !p.frozen) {
+          // u takes the seed's forward update over the whole step (matching
+          // the global path bitwise at max_rung = 0); the *prediction*
+          // restarts from the pre-kick value so neighbour lookups track
+          // u(t) instead of this end-of-step extrapolation.
+          p.u_pred = p.u;
           p.u = std::max(p.u + dt_p * p.du_dt, 1e-12);
         }
       }
@@ -239,12 +430,23 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
     const long stride = nfull >> k_deep;
     const double sub_dt = dt_min * static_cast<double>(stride);
 
-    // Drift ALL particles by the sub-step.
+    // Drift ALL particles by the sub-step (independent per particle), and
+    // advance every gas particle's u prediction on its held du_dt so
+    // neighbour lookups see thermodynamics at the current time instead of
+    // the state frozen at the particle's last closing.
     {
       util::TimerRegistry::Scope scope(timers_, "Integration");
-      for (auto& p : parts_) p.pos += sub_dt * p.vel;
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n_parts; ++i) {
+        auto& p = parts_[static_cast<std::size_t>(i)];
+        p.pos += sub_dt * p.vel;
+        if (p.isGas() && !p.frozen) {
+          p.u_pred = std::max(p.u_pred + sub_dt * p.du_dt, 1e-12);
+        }
+      }
     }
     n += stride;
+    stats.substep_units += stride;
 
     // Tree maintenance: one real rebuild per global step (after the first
     // drift), then O(N) in-place position/moment refreshes keep the cached
@@ -259,26 +461,33 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
 
     // Closing set: particles whose step ends at the updated n. The deepest
     // occupied rung closes every iteration, so the set is never empty.
-    active_idx_.clear();
-    active_gas_idx_.clear();
-    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(parts_.size()); ++i) {
-      const auto& p = parts_[i];
-      if (!aligned(n, p.rung)) continue;
-      active_idx_.push_back(i);
-      if (p.isGas()) active_gas_idx_.push_back(i);
-      ++stats.rung_force_evals[p.rung];
-    }
+    collectClosingSet(n, stats);
     computeForcesActive(stats, active_idx_, active_gas_idx_);
 
     // Closing kick, then rung update: refining is always allowed, while
     // coarsening may only land on boundaries aligned with n — the block
     // invariant that keeps every future boundary on the sub-step grid.
+    // Parallel: each active particle touches only its own state (the
+    // limiter floor reads its own rung_ngb, recorded by the pass above).
     {
       util::TimerRegistry::Scope scope(timers_, "Final_kick");
-      for (const auto i : active_idx_) {
+      const auto n_active = static_cast<std::int64_t>(active_idx_.size());
+#pragma omp parallel for schedule(static)
+      for (std::int64_t a = 0; a < n_active; ++a) {
+        const std::size_t i = active_idx_[static_cast<std::size_t>(a)];
         auto& p = parts_[i];
-        const double dt_p = dt_min * static_cast<double>(nfull >> p.rung);
+        // Closing half-kick over the step actually taken — for a particle
+        // the limiter woke mid-step this is the shortened plan, not the
+        // rung-implied length.
+        const double dt_p =
+            dt_min * static_cast<double>(step_end_[i] - step_begin_[i]);
         p.vel += 0.5 * dt_p * p.acc;
+        if (p.isGas() && !p.frozen) {
+          // The forward u update issued at opening has now "arrived": the
+          // stored u is the value at this closing time, so the prediction
+          // re-syncs to it.
+          p.u_pred = p.u;
+        }
         const int want = desiredRung(p, dt);
         int k_new = static_cast<int>(p.rung);
         if (want > k_new) {
@@ -289,6 +498,13 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
         p.rung = static_cast<std::uint8_t>(k_new);
       }
     }
+
+    // Saitoh–Makino wake sweep: lagging neighbours the force pass flagged
+    // are kick-resynced and folded into the next sub-step's active set.
+    if (cfg_.timestep_limiter) {
+      util::TimerRegistry::Scope scope(timers_, "Final_kick");
+      applyWakes(n, nfull, dt_min, kmax, stats);
+    }
     ++stats.substeps;
   }
 }
@@ -296,6 +512,9 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
 void Simulation::computeForcesActive(StepStats& stats,
                                      std::span<const std::uint32_t> active,
                                      std::span<const std::uint32_t> active_gas) {
+  // Requests are per-pass: never let a skipped hydro pass leak the previous
+  // sub-step's wake list into this sub-step's processing.
+  wake_requests_.clear();
   if (active.empty()) return;
 
   if (!active_gas.empty()) {
@@ -323,8 +542,9 @@ void Simulation::computeForcesActive(StepStats& stats,
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
     accumulate(stats.gravity_stats, gs);
-    const auto fs = sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(),
-                                              cfg_.sph, active_gas);
+    const auto fs = sph::accumulateHydroForce(
+        step_ctx_, parts_, parts_.size(), cfg_.sph, active_gas,
+        cfg_.timestep_limiter ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);
@@ -374,7 +594,13 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
     if (first_pass) stats.gravity_stats = gs;
-    const auto fs = sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(), cfg_.sph);
+    // The final (synchronized) pass doubles as the limiter's last detection
+    // sweep: requests collected here drive the sync-point rung floor.
+    const bool collect_wakes = cfg_.hierarchical_timestep &&
+                               cfg_.timestep_limiter && !first_pass;
+    const auto fs =
+        sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(), cfg_.sph,
+                                  collect_wakes ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);

@@ -43,6 +43,48 @@
 /// stay at full-step boundaries, where every rung synchronizes — exactly
 /// the paper's scheme with the quiescent disc decoupled from SN-driven
 /// timestep collapse (§3.2/§5.3).
+///
+/// # Saitoh–Makino timestep limiter (cfg.timestep_limiter)
+///
+/// Block rungs alone let a hot, deeply-refined particle slam energy into a
+/// cold neighbour that stays inactive on a rung many levels coarser — the
+/// neighbour coasts on stale forces through the whole interaction (Saitoh &
+/// Makino 2009, the regime ASURA-FDPS hits when SN ejecta meet cold gas).
+/// The limiter closes that hole in three places:
+///
+///  * every hydro force pass records each target's deepest neighbour rung
+///    (Particle::rung_ngb) and, during sub-steps, emits a *wake request* for
+///    any evaluated pair whose rung gap exceeds sph::kLimiterGap (= 2);
+///  * after each sub-step's closing kick, requested neighbours that are
+///    mid-step are woken by *step-shortening* (SM09's original move): the
+///    step in flight is re-planned to end at the next boundary of the new
+///    rung (requester rung - kLimiterGap), and the opening updates the
+///    particle already received — the velocity half-kick and the full
+///    forward u update, both sized for the old, longer plan — are
+///    re-synchronized by their share of the length change on the held
+///    acc/du_dt. The explicit per-particle step_begin_/step_end_
+///    bookkeeping (new in this revision; PR 2 derived both from rung
+///    alignment) then closes the shortened step with fresh forces at most
+///    2^kLimiterGap active steps after the violation was detected;
+///  * the rung criteria themselves floor a gas particle's next rung at
+///    rung_ngb - 2, and the sync point promotes any rung the final force
+///    pass still sees lagging — every full-step boundary is published in a
+///    limiter-consistent state.
+///
+/// With the limiter enforcing the pair-gap invariant (and u prediction
+/// keeping inactive-neighbour pressures current), the blanket rung_safety
+/// margin is no longer a *stability* requirement and its default relaxes
+/// from 0.35 to 0.8: on the SN blastwave this cuts active force work
+/// ~1.4-1.6x at the honest cost of ~1.8x in energy-drift rate (absolute
+/// drift a few percent/Myr either way — see BENCH_timestep_limiter.json),
+/// while the un-limited relaxed run both violates the pair gap (6 vs 2)
+/// and tracks cold-side thermal state worse.
+///
+/// The sub-step loop's O(N) sweeps (rung assignment, opening-kick scan,
+/// all-particle drift, closing-set collection) are OpenMP-parallel and
+/// bitwise deterministic in the thread count: per-particle updates are
+/// independent, reductions are over integers, and the closing set is
+/// collected by fixed-chunk count-then-fill in index order.
 
 #include <array>
 #include <limits>
@@ -78,13 +120,27 @@ struct SimulationConfig {
   /// precedence over adaptive_timestep.
   bool hierarchical_timestep = false;
   int max_rung = 10;              ///< deepest rung: dt_min = dt_global / 2^max_rung
-  double eta_acc = 0.3;           ///< accel criterion dt = eta * sqrt(eps/|a|)
-  /// Safety factor on the per-rung criteria. Individual timesteps lose the
-  /// global scheme's accidental margin (everyone shared the *minimum* dt),
-  /// so marginal rungs integrate right at their stability edge; 0.35
-  /// matches the global-CFL baseline's energy drift per Myr on the SN
-  /// blastwave (2.1 vs 2.4 /Myr) while keeping a >=6x end-to-end speedup.
-  double rung_safety = 0.35;
+  /// Accel criterion dt = eta * sqrt(eps/|a|), margin included. Gravity has
+  /// no timestep limiter (Saitoh–Makino is a hydro mechanism), so this
+  /// clock keeps its own safety and is *not* scaled by rung_safety; the
+  /// default equals PR 2's effective accel margin (0.3 x the old blanket
+  /// rung_safety = 0.35).
+  double eta_acc = 0.105;
+  /// Saitoh & Makino (2009) limiter: wake inactive neighbours whose rung
+  /// lags an active particle's by more than sph::kLimiterGap mid-step
+  /// instead of letting them coast on stale forces until their own (coarse)
+  /// boundary. Only meaningful with hierarchical_timestep.
+  bool timestep_limiter = true;
+  /// Safety factor on the per-particle CFL rung criterion. Individual
+  /// timesteps lose the global scheme's accidental margin (everyone shared
+  /// the *minimum* dt), so marginal rungs integrate right at their
+  /// stability edge. PR 2 pinned this at a blanket 0.35; with the limiter
+  /// waking lagging cold neighbours (plus u prediction for inactive
+  /// neighbours) the margin is a cost/accuracy dial rather than a
+  /// stability requirement, and the default relaxes to 0.8 — ~1.4-1.6x
+  /// less active-set force work on SN-driven phases for ~1.8x the (small)
+  /// energy-drift rate. Set 0.35 to reproduce PR 2's accuracy point.
+  double rung_safety = 0.8;
 
   // --- surrogate / pool nodes ---
   double sn_box_size = 60.0;      ///< pc, region side length
@@ -115,6 +171,16 @@ struct StepStats {
   int tree_refreshes = 0; ///< O(N) smoothing/position refreshes standing in for rebuilds
   // --- hierarchical block timesteps ---
   int substeps = 0;  ///< sub-step iterations executed (0 in global-step mode)
+  /// Sub-units (dt_global / 2^max_rung) actually advanced by the sub-step
+  /// loop. The time-consistency invariant: whenever substeps > 0 this equals
+  /// 2^max_rung *exactly* — drift bookkeeping is integer, so the per-particle
+  /// drifts tile dt_global with no floating-point shortfall.
+  long substep_units = 0;
+  // --- Saitoh–Makino timestep limiter ---
+  int limiter_wakes = 0;  ///< inactive particles woken (kick-resynced) mid-step
+  /// Lagging rungs promoted at the sync point from the final force pass's
+  /// requests (no kick resync needed: every particle is synchronized there).
+  int limiter_sync_promotions = 0;
   std::array<int, kMaxRungs> rung_histogram{};  ///< particles per rung at step start
   std::array<std::uint64_t, kMaxRungs> rung_force_evals{};  ///< closing targets per rung
   /// Per-particle force-pass target evaluations this step (gravity targets +
@@ -140,6 +206,19 @@ class Simulation {
 
   /// Advance one global step; returns per-step statistics.
   StepStats step();
+
+  /// Statistics of the most recent step. Backed by a member that step()
+  /// must fully reset at entry — in particular rung_histogram and the
+  /// limiter counters, which would otherwise leak stale counts into
+  /// global-step mode when a run alternates hierarchical on/off.
+  [[nodiscard]] const StepStats& lastStats() const { return stats_; }
+
+  /// Mutable configuration access, e.g. to alternate hierarchical_timestep
+  /// on/off or tune rung_safety between steps. Takes effect at the next
+  /// step() (mid-step reconfiguration is impossible by construction: the
+  /// sub-step loop runs to the sync point within one step() call).
+  [[nodiscard]] SimulationConfig& config() { return cfg_; }
+  [[nodiscard]] const SimulationConfig& config() const { return cfg_; }
 
   [[nodiscard]] double time() const { return t_; }
   [[nodiscard]] long stepCount() const { return step_; }
@@ -178,8 +257,24 @@ class Simulation {
                            std::span<const std::uint32_t> active,
                            std::span<const std::uint32_t> active_gas);
   /// Rung from the per-particle criteria (accel; CFL via the vsig recorded
-  /// by the last hydro pass), clamped to [0, max_rung].
+  /// by the last hydro pass; the limiter's neighbour-rung floor), clamped
+  /// to [0, max_rung].
   [[nodiscard]] int desiredRung(const fdps::Particle& p, double dt_global) const;
+  /// Deterministic fixed-chunk count-then-fill of the closing set at
+  /// sub-unit `n` into active_idx_/active_gas_idx_ (exact index order for
+  /// any thread count), accumulating per-rung force-eval counters.
+  void collectClosingSet(long n, StepStats& stats);
+  /// Saitoh–Makino wake processing after the closing kick of the sub-step
+  /// ending at `n`: resolve the per-neighbour target rung from the sorted
+  /// request list and shorten each mid-step laggard's step in flight to end
+  /// at the next boundary of its new rung, correcting the opening half-kick
+  /// for the length change.
+  void applyWakes(long n, long nfull, double dt_min, int kmax, StepStats& stats);
+  /// Sync-point half of the limiter: promote rungs the final (full) force
+  /// pass still saw lagging. Every particle is synchronized at the step
+  /// boundary, so promotion needs no kick resync and publishes a
+  /// limiter-consistent rung state to observers.
+  void applySyncRungFloor(StepStats& stats);
   void captureAndSendRegions(const std::vector<stellar::SnEvent>& events,
                              StepStats& stats);
   void receiveAndReplace(StepStats& stats);
@@ -206,6 +301,21 @@ class Simulation {
   double last_cfl_dt_ = std::numeric_limits<double>::infinity();
   /// Active-set index scratch reused across sub-steps.
   std::vector<std::uint32_t> active_idx_, active_gas_idx_;
+  /// Per-particle step bookkeeping of the sub-step loop, in sub-units of
+  /// dt_global / 2^max_rung: the boundary each particle's current step
+  /// opened at and the boundary it will close at. PR 2 derived both from
+  /// the rung alone (per-sub-step-static); the limiter makes them explicit
+  /// state because a mid-step wake *shortens* a step in flight — the woken
+  /// particle's end moves to the next boundary of its new rung, which its
+  /// (unchanged) opening boundary need not be aligned with.
+  std::vector<long> step_begin_, step_end_;
+  /// Most recent step's statistics (lastStats). step() resets this at entry.
+  StepStats stats_;
+  /// Saitoh–Makino wake requests of the current force pass (packed
+  /// neighbour<<32|target, canonically sorted by the pass).
+  std::vector<std::uint64_t> wake_requests_;
+  /// Per-chunk [all, gas] counters of the closing-set collection sweep.
+  std::vector<std::uint32_t> sweep_counts_;
 };
 
 }  // namespace asura::core

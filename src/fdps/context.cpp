@@ -28,6 +28,8 @@ void StepContext::invalidate() {
   active_gas_groups_valid_ = false;
 }
 
+void StepContext::invalidateActiveGroups() { active_gas_groups_valid_ = false; }
+
 SourceTree& StepContext::gravityTree(std::span<const Particle> particles,
                                      std::span<const SourceEntry> let_entries,
                                      int leaf_size) {

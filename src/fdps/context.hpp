@@ -82,6 +82,12 @@ struct ThreadArena {
   // SoA candidate fields for the hydro-force kernel.
   std::vector<double> qvx, qvy, qvz, qh, qrho, qpres, qcs, qdivv, qcurlv;
   std::vector<std::uint32_t> qidx;
+  std::vector<std::uint8_t> qrung;  ///< candidate rungs (timestep limiter)
+
+  /// Saitoh–Makino wake requests collected by the hydro force pass (packed
+  /// neighbour<<32|target); merged serially after the parallel region so the
+  /// published list is canonically ordered regardless of scheduling.
+  std::vector<std::uint64_t> wake;
 
   // Target-side staging.
   std::vector<util::Vec3d> tpos, tacc;
@@ -146,6 +152,16 @@ class StepContext {
   const std::vector<TargetGroup>& activeGasGroups(std::span<const Particle> work,
                                                   std::span<const std::uint32_t> subset,
                                                   int group_size);
+
+  /// Drop only the cached *active* target groups. The timestep limiter
+  /// calls this after mid-step wakes change the next closing set: the
+  /// content-keyed gas slot must never serve a pre-wake subset. In the
+  /// current sub-step loop this is belt-and-braces — every drift already
+  /// clears the slot through refreshGasPositions()/invalidate() before the
+  /// next force pass — but the wake path owns the contract explicitly so a
+  /// reordering of the loop (e.g. hoisting the refresh out of quiet
+  /// sub-steps) cannot silently revive stale groups.
+  void invalidateActiveGroups();
 
   [[nodiscard]] ThreadArena& arena(int tid) { return arenas_[static_cast<std::size_t>(tid)]; }
   [[nodiscard]] int numArenas() const { return static_cast<int>(arenas_.size()); }

@@ -38,6 +38,13 @@ struct Particle {
 
   // --- SPH state (gas only) ---
   double u = 0.0;      ///< specific internal energy [pc^2/Myr^2]
+  /// Predicted u at the current simulation time, for *neighbour* lookups
+  /// while the particle itself is inactive between block-timestep kicks:
+  /// advanced by du_dt with every sub-step drift and re-synced to u whenever
+  /// the particle is kicked (FAST-style prediction — without it, active
+  /// particles read pressures frozen at the neighbour's last closing, which
+  /// dominates the energy drift once rung_safety relaxes).
+  double u_pred = 0.0;
   double du_dt = 0.0;  ///< adiabatic + viscous heating rate
   double h = 1.0;      ///< kernel support radius H [pc]
   double rho = 0.0;    ///< mass density [Msun/pc^3]
@@ -57,6 +64,12 @@ struct Particle {
   // --- bookkeeping ---
   std::uint8_t frozen = 0;  ///< inside a pending surrogate region
   std::uint8_t rung = 0;    ///< block-timestep rung k: dt = dt_global / 2^k
+  /// Deepest rung among this particle's SPH neighbours, recorded by the most
+  /// recent hydro force pass that evaluated it as a target. Feeds the
+  /// Saitoh & Makino (2009) timestep limiter: the rung criteria floor a gas
+  /// particle's next rung at rung_ngb - 2 so it can never be assigned a step
+  /// more than 4x longer than an interacting neighbour's.
+  std::uint8_t rung_ngb = 0;
 
   [[nodiscard]] bool isGas() const { return type == Species::Gas; }
   [[nodiscard]] bool isStar() const { return type == Species::Star; }

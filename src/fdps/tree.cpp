@@ -633,7 +633,27 @@ std::vector<TargetGroup> makeTargetGroups(std::span<const Particle> particles,
                                           std::span<const std::uint32_t> subset,
                                           int group_size) {
   Box all;
-  for (const std::uint32_t i : subset) all.extend(particles[i].pos);
+  if (!subset.empty()) {
+    // The subset box is recomputed every sub-step (the active set changes
+    // each closing, and mid-step limiter wakes change it again); a simd
+    // min/max reduction keeps this O(active) sweep off the quiet-substep
+    // floor instead of serializing on Box::extend's dependency chain.
+    double lx = particles[subset[0]].pos.x, ly = particles[subset[0]].pos.y,
+           lz = particles[subset[0]].pos.z;
+    double hx = lx, hy = ly, hz = lz;
+#pragma omp simd reduction(min : lx, ly, lz) reduction(max : hx, hy, hz)
+    for (std::size_t s = 0; s < subset.size(); ++s) {
+      const Vec3d p = particles[subset[s]].pos;
+      lx = std::min(lx, p.x);
+      ly = std::min(ly, p.y);
+      lz = std::min(lz, p.z);
+      hx = std::max(hx, p.x);
+      hy = std::max(hy, p.y);
+      hz = std::max(hz, p.z);
+    }
+    all.lo = {lx, ly, lz};
+    all.hi = {hx, hy, hz};
+  }
   return groupsFromSelection(particles, subset, all, group_size);
 }
 

@@ -144,10 +144,10 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
                        std::span<Particle> particles, const GravityParams& params,
                        GravityStats& stats) {
   const auto& entries = tree.entries();
-  std::uint64_t ep_total = 0, sp_total = 0;
+  std::uint64_t ep_total = 0, sp_total = 0, targets_total = 0;
   double walk_s = 0.0, kernel_s = 0.0;
 
-#pragma omp parallel reduction(+ : ep_total, sp_total, walk_s, kernel_s)
+#pragma omp parallel reduction(+ : ep_total, sp_total, targets_total, walk_s, kernel_s)
   {
     fdps::ThreadArena& a = ctx.arena(ompThreadId());
 
@@ -231,12 +231,14 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
       }
       ep_total += static_cast<std::uint64_t>(nt) * a.idx.size();
       sp_total += static_cast<std::uint64_t>(nt) * a.sp.size();
+      targets_total += static_cast<std::uint64_t>(nt);
       kernel_s += util::wtime() - tk;
     }
   }
 
   stats.ep_interactions = ep_total;
   stats.sp_interactions = sp_total;
+  stats.targets = targets_total;
   stats.t_walk = walk_s;
   stats.t_kernel = kernel_s;
 }

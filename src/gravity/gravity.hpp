@@ -41,6 +41,10 @@ struct GravityParams {
 struct GravityStats {
   std::uint64_t ep_interactions = 0;  ///< particle-particle pairs evaluated
   std::uint64_t sp_interactions = 0;  ///< particle-monopole pairs evaluated
+  /// Target particles evaluated by this pass. For the active-set overload
+  /// this is the rung-decomposed work unit the block-timestep scheme saves:
+  /// summing it over sub-steps must equal StepStats::rung_force_evals.
+  std::uint64_t targets = 0;
   int tree_builds = 0;   ///< trees actually (re)built by this call (0 = cached)
   double t_build = 0.0;  ///< seconds: tree + target-group construction (~0 when cached)
   double t_walk = 0.0;   ///< seconds: interaction-list gathering, summed over threads

@@ -185,6 +185,10 @@ void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
         p.curlv = rho > 0.0 ? curl.norm() / rho : 0.0;
         p.pres = pressure(rho, p.u);
         p.cs = soundSpeed(p.u);
+        // A density target's u is current (it was just kicked), so its
+        // prediction re-syncs here; inactive neighbours keep coasting on
+        // the u_pred the drift sweep advances.
+        p.u_pred = p.u;
       }
       kernel_s += util::wtime() - tg0 - (walk_s - walk_at_g0);
     }
@@ -201,11 +205,13 @@ void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
 }
 
 /// Group loop of the hydro force, shared by the full-set and active-set
-/// overloads.
+/// overloads. With `wake_out` non-null the pass doubles as the Saitoh–Makino
+/// limiter's detection sweep: every evaluated pair whose target rung exceeds
+/// the neighbour's by more than kLimiterGap emits a wake request.
 void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
                      const std::vector<TargetGroup>& groups,
                      std::span<Particle> work, const SphParams& params,
-                     ForceStats& stats) {
+                     ForceStats& stats, std::vector<std::uint64_t>* wake_out) {
   const auto& entries = tree.entries();
   std::uint64_t interactions = 0;
   double walk_s = 0.0, kernel_s = 0.0;
@@ -214,6 +220,7 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
 #pragma omp parallel reduction(+ : interactions, walk_s, kernel_s) reduction(min : dt_cfl)
   {
     fdps::ThreadArena& a = ctx.arena(ompThreadId());
+    a.wake.clear();
 
 #pragma omp for schedule(dynamic)
     for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -238,15 +245,27 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
       a.qrho.resize(nc); a.qpres.resize(nc); a.qcs.resize(nc);
       a.qdivv.resize(nc); a.qcurlv.resize(nc);
       a.qidx.resize(nc);
+      a.qrung.resize(nc);
       for (std::size_t j = 0; j < nc; ++j) {
         const SourceEntry& s = entries[a.idx[j]];
         const Particle& q = work[s.idx];
         a.sx[j] = s.pos.x; a.sy[j] = s.pos.y; a.sz[j] = s.pos.z;
         a.sm[j] = s.mass; a.qh[j] = s.h;
         a.qvx[j] = q.vel.x; a.qvy[j] = q.vel.y; a.qvz[j] = q.vel.z;
-        a.qrho[j] = q.rho; a.qpres[j] = q.pres; a.qcs[j] = q.cs;
+        // Thermodynamics from the *predicted* u: for an active neighbour
+        // u_pred == u and this reproduces q.pres/q.cs exactly (same EOS,
+        // same inputs); for an inactive one it is the drift-advanced
+        // estimate at the current sub-step time instead of the state frozen
+        // at its last closing. (Predicting rho through the continuity
+        // equation as well was tried and rejected: mixed-epoch density
+        // estimates break the pairwise symmetry SPH conservation leans on
+        // and measurably worsen blastwave drift.)
+        a.qrho[j] = q.rho;
+        a.qpres[j] = pressure(q.rho, q.u_pred);
+        a.qcs[j] = soundSpeed(q.u_pred);
         a.qdivv[j] = q.divv; a.qcurlv[j] = q.curlv;
         a.qidx[j] = s.idx;
+        a.qrung[j] = q.rung;
       }
       a.r2.resize(nc);
 
@@ -281,11 +300,22 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
         Vec3d acc{};
         double dudt = 0.0;
         double vsig = ci;
+        int rung_ngb = 0;
+        const int rung_i = static_cast<int>(p.rung);
 
         for (const auto j : a.sel) {
           const double r = std::sqrt(a.r2[j]);
           const double Hj = a.qh[j];
           ++interactions;
+
+          // Timestep-limiter bookkeeping: remember the deepest neighbour
+          // rung, and flag neighbours lagging this (active) target by more
+          // than the allowed gap for a mid-step wake.
+          const int rung_j = static_cast<int>(a.qrung[j]);
+          rung_ngb = std::max(rung_ngb, rung_j);
+          if (wake_out != nullptr && rung_i - rung_j > kLimiterGap) {
+            a.wake.push_back(packWake(pi, a.qidx[j]));
+          }
 
           const Vec3d dr{px - a.sx[j], py - a.sy[j], pz - a.sz[j]};
 
@@ -324,12 +354,27 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
         p.acc += acc;
         p.du_dt = dudt;
         p.vsig = vsig;
+        p.rung_ngb = static_cast<std::uint8_t>(rung_ngb);
         // The adaptive baseline's CFL minimum falls out of this pass for
         // free — no separate full-particle cflTimestep sweep needed.
         if (vsig > 0.0) dt_cfl = std::min(dt_cfl, params.cfl * 0.5 * Hi / vsig);
       }
       kernel_s += util::wtime() - tk;
     }
+  }
+
+  if (wake_out != nullptr) {
+    // Merge the per-thread request lists and canonicalize: which arena holds
+    // which request depends on dynamic scheduling, but the sorted multiset
+    // depends only on particle state — the integrator's wake processing (and
+    // with it every kick) stays bitwise identical across thread counts.
+    wake_out->clear();
+    for (int t = 0; t < ctx.numArenas(); ++t) {
+      auto& w = ctx.arena(t).wake;
+      wake_out->insert(wake_out->end(), w.begin(), w.end());
+      w.clear();
+    }
+    std::sort(wake_out->begin(), wake_out->end());
   }
 
   stats.interactions = interactions;
@@ -380,12 +425,14 @@ DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
 ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
                                 const SphParams& params) {
   fdps::StepContext ctx;  // throwaway context: build-per-call semantics
-  return accumulateHydroForce(ctx, work, n_local, params);
+  return accumulateHydroForce(ctx, work, n_local, params, nullptr);
 }
 
 ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
-                                std::size_t n_local, const SphParams& params) {
+                                std::size_t n_local, const SphParams& params,
+                                std::vector<std::uint64_t>* wake_out) {
   ForceStats stats;
+  if (wake_out != nullptr) wake_out->clear();
   const int builds_before = ctx.buildsThisStep();
   const double t0 = util::wtime();
   const SourceTree& tree = ctx.gasTree(work, params.leaf_size);
@@ -393,15 +440,17 @@ ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work
   const auto& groups = ctx.gasGroups(work, n_local, params.group_size);
   stats.t_build = util::wtime() - t0;
   stats.tree_builds = ctx.buildsThisStep() - builds_before;
-  hydroOverGroups(ctx, tree, groups, work, params, stats);
+  hydroOverGroups(ctx, tree, groups, work, params, stats, wake_out);
   return stats;
 }
 
 ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
                                 std::size_t n_local, const SphParams& params,
-                                std::span<const std::uint32_t> active) {
+                                std::span<const std::uint32_t> active,
+                                std::vector<std::uint64_t>* wake_out) {
   (void)n_local;
   ForceStats stats;
+  if (wake_out != nullptr) wake_out->clear();
   if (active.empty()) return stats;
   const int builds_before = ctx.buildsThisStep();
   const double t0 = util::wtime();
@@ -410,7 +459,7 @@ ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work
   const auto& groups = ctx.activeGasGroups(work, active, params.group_size);
   stats.t_build = util::wtime() - t0;
   stats.tree_builds = ctx.buildsThisStep() - builds_before;
-  hydroOverGroups(ctx, tree, groups, work, params, stats);
+  hydroOverGroups(ctx, tree, groups, work, params, stats, wake_out);
   return stats;
 }
 

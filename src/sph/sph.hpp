@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <vector>
 
 #include "fdps/context.hpp"
 #include "fdps/particle.hpp"
@@ -22,6 +23,26 @@
 namespace asura::sph {
 
 using fdps::Particle;
+
+/// Saitoh & Makino (2009) timestep-limiter gap: an interacting pair's rungs
+/// may differ by at most this many levels (dt ratio <= 2^kLimiterGap = 4).
+/// The hydro force pass reports pairs that exceed it as wake requests.
+inline constexpr int kLimiterGap = 2;
+
+/// Wake request recorded by the hydro force pass: an *active* target whose
+/// current rung exceeds an (inactive) neighbour's by more than kLimiterGap.
+/// Packed (neighbour << 32 | target) so sorting the request list groups the
+/// lagging neighbours — the integrator resolves each neighbour's new rung
+/// from the max of its requesters, order-independently.
+inline std::uint64_t packWake(std::uint32_t target, std::uint32_t neighbour) {
+  return (static_cast<std::uint64_t>(neighbour) << 32) | target;
+}
+inline std::uint32_t wakeNeighbour(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w >> 32);
+}
+inline std::uint32_t wakeTarget(std::uint64_t w) {
+  return static_cast<std::uint32_t>(w & 0xffffffffu);
+}
 
 struct SphParams {
   Kernel kernel{};
@@ -82,20 +103,28 @@ DensityStats solveDensity(fdps::StepContext& ctx, std::span<Particle> work,
                           std::span<const std::uint32_t> active);
 
 /// Accumulate hydrodynamic accelerations and du/dt into local gas particles;
-/// also records the max signal velocity (Particle::vsig) for the CFL clock.
+/// also records the max signal velocity (Particle::vsig) for the CFL clock
+/// and the deepest neighbour rung (Particle::rung_ngb) for the limiter.
 /// Requires density/pressure fields to be current on locals AND ghosts.
 ForceStats accumulateHydroForce(std::span<Particle> work, std::size_t n_local,
                                 const SphParams& params);
 
 /// Cached-pipeline overload (shares the gas tree built by solveDensity).
-ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
-                                std::size_t n_local, const SphParams& params);
-
-/// Active-set overload (block timesteps): accumulate hydro accelerations
-/// into only the gas particles named by `active`.
+/// When `wake_out` is non-null the pass also collects Saitoh–Makino wake
+/// requests (cleared at entry): one packWake(target, neighbour) per evaluated
+/// pair whose rung gap exceeds kLimiterGap. The request multiset depends only
+/// on particle state, never on thread count or scheduling.
 ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
                                 std::size_t n_local, const SphParams& params,
-                                std::span<const std::uint32_t> active);
+                                std::vector<std::uint64_t>* wake_out = nullptr);
+
+/// Active-set overload (block timesteps): accumulate hydro accelerations
+/// into only the gas particles named by `active`, optionally collecting wake
+/// requests as above.
+ForceStats accumulateHydroForce(fdps::StepContext& ctx, std::span<Particle> work,
+                                std::size_t n_local, const SphParams& params,
+                                std::span<const std::uint32_t> active,
+                                std::vector<std::uint64_t>* wake_out = nullptr);
 
 /// Minimum CFL timestep over local gas: dt = cfl * (h/2) / vsig. Note the
 /// same minimum now also falls out of the force pass (ForceStats::dt_cfl_min)

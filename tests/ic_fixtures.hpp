@@ -5,6 +5,7 @@
 /// in one place so the benchmarked scenario can never silently diverge from
 /// the tested one.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -59,6 +60,52 @@ inline std::vector<fdps::Particle> blastwaveIc(int n, std::uint64_t seed) {
   star.eps = 0.5;
   parts.push_back(star);
   return parts;
+}
+
+/// Hot–cold interface: a cold ball whose core is flash-heated to ~1e6 K.
+/// The hot side's CFL clock drives it to deep rungs immediately while the
+/// cold shell's criteria sit many rungs coarser — exactly the lagging-
+/// neighbour configuration the Saitoh & Makino (2009) limiter exists for.
+/// Without the limiter, interface particles are integrated on steps >4x
+/// longer than the hot neighbours pounding them.
+inline std::vector<fdps::Particle> hotColdInterfaceIc(int n, std::uint64_t seed,
+                                                      double core_radius = 2.0,
+                                                      double t_hot = 1e6) {
+  auto parts = gasBall(n, 6.0, 20.0, seed, 40.0);
+  for (auto& p : parts) {
+    if (p.pos.norm() < core_radius) p.u = units::temperature_to_u(t_hot, 0.6);
+  }
+  return parts;
+}
+
+/// Multiphase random fixture for the limiter property tests: per-particle
+/// temperatures drawn log-uniform over [t_lo, t_hi] scatter the rung
+/// criteria across many levels, so each seed yields a different random rung
+/// distribution at the first sync assignment.
+inline std::vector<fdps::Particle> multiphaseBall(int n, std::uint64_t seed,
+                                                  double t_lo = 10.0,
+                                                  double t_hi = 3e5) {
+  auto parts = gasBall(n, 8.0, 10.0, seed, t_lo);
+  util::Pcg32 rng(seed ^ 0x9e3779b9u);
+  for (auto& p : parts) {
+    const double logt = rng.uniform(std::log(t_lo), std::log(t_hi));
+    p.u = units::temperature_to_u(std::exp(logt), 0.6);
+  }
+  return parts;
+}
+
+/// Largest rung lag visible to the last hydro force pass: max over gas of
+/// (deepest neighbour rung - own rung). The limiter's pair-gap invariant is
+/// that this never exceeds sph::kLimiterGap at a published step boundary —
+/// measured against the neighbour rungs the final force pass actually
+/// recorded, i.e. exactly the state the next assignment will be floored by.
+inline int limiterGapExcess(const std::vector<fdps::Particle>& parts) {
+  int gap = 0;
+  for (const auto& p : parts) {
+    if (!p.isGas()) continue;
+    gap = std::max(gap, static_cast<int>(p.rung_ngb) - static_cast<int>(p.rung));
+  }
+  return gap;
 }
 
 }  // namespace asura::testing

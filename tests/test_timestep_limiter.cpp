@@ -1,0 +1,296 @@
+// Saitoh–Makino timestep-limiter conformance suite: a hot–cold interface
+// where the un-limited integrator provably integrates lagging cold particles
+// against deeply-refined hot neighbours (and the limiter wakes them within
+// the step the lag first appears), energy-drift parity between the relaxed
+// rung_safety >= 0.8 limiter configuration and the PR 2 blanket-margin
+// baseline, a property sweep over random rung distributions (pair-gap and
+// integer time-consistency invariants), bitwise thread-count determinism of
+// the parallel sub-step sweeps, and the rung-histogram reset regression when
+// a run alternates hierarchical on/off.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "core/simulation.hpp"
+#include "ic_fixtures.hpp"
+#include "sph/sph.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using asura::core::kMaxRungs;
+using asura::core::Simulation;
+using asura::core::SimulationConfig;
+using asura::core::StepStats;
+using asura::fdps::Particle;
+using asura::sph::kLimiterGap;
+using asura::testing::blastwaveIc;
+using asura::testing::gasBall;
+using asura::testing::hotColdInterfaceIc;
+using asura::testing::limiterGapExcess;
+using asura::testing::multiphaseBall;
+
+SimulationConfig limiterConfig(bool limiter_on, double rung_safety) {
+  SimulationConfig cfg;
+  cfg.enable_star_formation = false;
+  cfg.enable_cooling = false;
+  cfg.use_surrogate = false;
+  cfg.sph.n_ngb = 32;
+  cfg.gravity.theta = 0.6;
+  cfg.hierarchical_timestep = true;
+  cfg.max_rung = 8;
+  cfg.timestep_limiter = limiter_on;
+  cfg.rung_safety = rung_safety;
+  return cfg;
+}
+
+double totalEnergy(const Simulation& sim) { return sim.energyReport().total(); }
+
+// ---------------------------------------------------------------------------
+// Hot–cold interface: the un-limited run integrates lagging cold particles;
+// the limiter wakes them within the very step the lag first appears
+// ---------------------------------------------------------------------------
+
+TEST(TimestepLimiter, WakesLaggingColdNeighboursWithinOneStep) {
+  const int n = 900;
+  const auto ic = hotColdInterfaceIc(n, 11);
+
+  Simulation off(ic, limiterConfig(false, 0.8));
+  Simulation on(ic, limiterConfig(true, 0.8));
+
+  int lag_step = -1;      // first step the un-limited run shows a gap > 2
+  int wakes_that_step = 0;
+  int total_wakes = 0;
+  for (int s = 0; s < 6; ++s) {
+    off.step();
+    const auto st = on.step();
+    total_wakes += st.limiter_wakes;
+    if (lag_step < 0 && limiterGapExcess(off.particles()) > kLimiterGap) {
+      lag_step = s;
+      wakes_that_step = st.limiter_wakes + st.limiter_sync_promotions;
+    }
+    // The limiter run must never publish a step boundary where a gas
+    // particle's recorded neighbour rung exceeds its own by more than the
+    // allowed gap (the un-limited run is the existence proof that the
+    // fixture does produce such pairs).
+    EXPECT_LE(limiterGapExcess(on.particles()), kLimiterGap) << "step " << s;
+  }
+  ASSERT_GE(lag_step, 0)
+      << "fixture never produced a >2-rung lag without the limiter";
+  EXPECT_GT(wakes_that_step, 0)
+      << "limiter failed to wake any particle in the step the lag appears";
+  EXPECT_GT(total_wakes, 0);
+}
+
+// The physical point of the limiter: a cold interface particle integrated on
+// a coarse rung coasts on stale du_dt while hot neighbours pound it. Waking
+// it mid-step must track the fine-reference thermal state better than
+// leaving it asleep.
+TEST(TimestepLimiter, ColdSideThermalStateTracksFineReference) {
+  const int n = 900;
+  const auto ic = hotColdInterfaceIc(n, 11);
+  const double u_cold = asura::units::temperature_to_u(40.0, 0.6);
+  const int n_steps = 5;
+
+  // Fine reference: heavy blanket margin drives every criterion deep.
+  Simulation ref(ic, limiterConfig(false, 0.1));
+  Simulation off(ic, limiterConfig(false, 0.8));
+  Simulation on(ic, limiterConfig(true, 0.8));
+  for (int s = 0; s < n_steps; ++s) {
+    ref.step();
+    off.step();
+    on.step();
+  }
+
+  // Mass-weighted L1 error of u over the initially-cold shell.
+  const auto& pr = ref.particles();
+  const auto& poff = off.particles();
+  const auto& pon = on.particles();
+  double err_off = 0.0, err_on = 0.0;
+  for (std::size_t i = 0; i < ic.size(); ++i) {
+    if (!ic[i].isGas() || ic[i].u > 2.0 * u_cold) continue;
+    err_off += std::abs(poff[i].u - pr[i].u);
+    err_on += std::abs(pon[i].u - pr[i].u);
+  }
+  EXPECT_LT(err_on, err_off)
+      << "waking lagging cold particles must not track the fine reference "
+         "worse than leaving them asleep";
+}
+
+// ---------------------------------------------------------------------------
+// Energy-drift parity: relaxed rung_safety + limiter vs the PR 2 blanket
+// margin on the SN blastwave
+// ---------------------------------------------------------------------------
+
+TEST(TimestepLimiter, RelaxedSafetyMatchesPr2DriftWithFewerForceEvals) {
+  // The bench protocol at test scale: drift and force work measured over the
+  // SN-driven phase (five global steps after the injection step), the regime
+  // the limiter targets. Relaxing the CFL margin 0.35 -> 0.8 trades shock
+  // accuracy for active-set work roughly linearly in dt: the bench records
+  // ~1.4x fewer evals at ~1.8x the drift *rate* at N = 8000 (absolute drift
+  // a few percent/Myr either way; BENCH_timestep_limiter.json). This test
+  // pins that envelope at N = 3000 — a broken limiter or a mis-scaled
+  // criterion blows through the drift gate, an un-relaxed margin blows
+  // through the evals gate.
+  const auto ic = blastwaveIc(3000, 21);
+  const int n_steps = 5;
+
+  auto run = [&](bool limiter_on, double safety, std::uint64_t& evals) {
+    SimulationConfig cfg = limiterConfig(limiter_on, safety);
+    cfg.max_rung = 10;
+    cfg.feedback_radius = 1.0;
+    Simulation sim(ic, cfg);
+    sim.step();  // SN identified + injected at the first full-step boundary
+    const double e0 = totalEnergy(sim);
+    evals = 0;
+    for (int s = 0; s < n_steps; ++s) evals += sim.step().force_evaluations;
+    return std::abs(totalEnergy(sim) - e0) / std::abs(e0);
+  };
+
+  std::uint64_t evals_pr2 = 0, evals_lim = 0;
+  const double drift_pr2 = run(false, 0.35, evals_pr2);
+  const double drift_lim = run(true, 0.8, evals_lim);
+
+  // Bounded energy error at relaxed margin...
+  EXPECT_LT(drift_lim, std::max(2.1 * drift_pr2, 0.02))
+      << "drift_pr2=" << drift_pr2 << " drift_lim=" << drift_lim;
+  EXPECT_LT(drift_lim, 0.05);
+  // ...while doing measurably less force work.
+  EXPECT_LT(static_cast<double>(evals_lim), 0.8 * static_cast<double>(evals_pr2))
+      << "evals_pr2=" << evals_pr2 << " evals_lim=" << evals_lim;
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random rung distributions, pair-gap and time-consistency
+// ---------------------------------------------------------------------------
+
+TEST(TimestepLimiter, PropertyRandomRungDistributions) {
+  for (const std::uint64_t seed : {3ull, 17ull, 29ull}) {
+    const auto ic = multiphaseBall(500, seed);
+    SimulationConfig cfg = limiterConfig(true, 0.8);
+    cfg.max_rung = 6;
+    Simulation sim(ic, cfg);
+    const long nfull = 1L << cfg.max_rung;
+
+    for (int s = 0; s < 5; ++s) {
+      const auto st = sim.step();
+      ASSERT_GT(st.substeps, 0) << "seed " << seed;
+
+      // Time consistency: the sub-step strides tile dt_global *exactly* in
+      // integer sub-units — no floating-point shortfall can accumulate into
+      // the drift bookkeeping, whatever rung sequence the seed produced.
+      EXPECT_EQ(st.substep_units, nfull) << "seed " << seed << " step " << s;
+
+      // Every particle is on exactly one rung at the sync point.
+      long hist_total = 0;
+      for (int k = 0; k < kMaxRungs; ++k) {
+        hist_total += st.rung_histogram[static_cast<std::size_t>(k)];
+      }
+      EXPECT_EQ(hist_total, static_cast<long>(ic.size()))
+          << "seed " << seed << " step " << s;
+
+      // Pair-gap invariant: no interacting pair the final force pass saw is
+      // published with rungs more than kLimiterGap apart.
+      EXPECT_LE(limiterGapExcess(sim.particles()), kLimiterGap)
+          << "seed " << seed << " step " << s;
+
+      // Wall-clock bookkeeping advances by exactly one dt_global per step.
+      EXPECT_NEAR(sim.time(), (s + 1) * cfg.dt_global, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count determinism of the parallelized sub-step sweeps
+// ---------------------------------------------------------------------------
+
+#ifdef _OPENMP
+TEST(TimestepLimiter, ThreadCountDeterminism) {
+  const auto ic = blastwaveIc(1200, 41);
+  SimulationConfig cfg = limiterConfig(true, 0.8);
+  cfg.feedback_radius = 1.0;
+  const int n_steps = 3;
+
+  const int threads_before = omp_get_max_threads();
+  auto run = [&](int threads, std::vector<std::array<int, kMaxRungs>>& hists) {
+    omp_set_num_threads(threads);
+    Simulation sim(ic, cfg);
+    for (int s = 0; s < n_steps; ++s) hists.push_back(sim.step().rung_histogram);
+    return sim.particles();
+  };
+
+  std::vector<std::array<int, kMaxRungs>> hist1, hist4;
+  const auto parts1 = run(1, hist1);
+  const auto parts4 = run(4, hist4);
+  omp_set_num_threads(threads_before);
+
+  // The sweeps are order-independent: same chunked collection order, integer
+  // reductions, per-particle kicks. Positions and velocities must agree to
+  // the last bit, not to a tolerance.
+  ASSERT_EQ(parts1.size(), parts4.size());
+  for (std::size_t i = 0; i < parts1.size(); ++i) {
+    EXPECT_EQ(parts1[i].pos.x, parts4[i].pos.x) << i;
+    EXPECT_EQ(parts1[i].pos.y, parts4[i].pos.y) << i;
+    EXPECT_EQ(parts1[i].pos.z, parts4[i].pos.z) << i;
+    EXPECT_EQ(parts1[i].vel.x, parts4[i].vel.x) << i;
+    EXPECT_EQ(parts1[i].vel.y, parts4[i].vel.y) << i;
+    EXPECT_EQ(parts1[i].vel.z, parts4[i].vel.z) << i;
+    EXPECT_EQ(parts1[i].u, parts4[i].u) << i;
+    EXPECT_EQ(parts1[i].rung, parts4[i].rung) << i;
+  }
+  for (int s = 0; s < n_steps; ++s) {
+    EXPECT_EQ(hist1[static_cast<std::size_t>(s)], hist4[static_cast<std::size_t>(s)])
+        << "rung histogram diverged at step " << s;
+  }
+}
+#endif  // _OPENMP
+
+// ---------------------------------------------------------------------------
+// Regression: rung bookkeeping resets when a run alternates hierarchical
+// on/off (lastStats must never leak the previous mode's histogram)
+// ---------------------------------------------------------------------------
+
+TEST(TimestepLimiter, RungHistogramResetsWhenAlternatingModes) {
+  auto parts = gasBall(400, 15.0, 0.5, 7);
+  SimulationConfig cfg = limiterConfig(true, 0.8);
+  cfg.max_rung = 6;
+  Simulation sim(parts, cfg);
+
+  auto histTotal = [](const StepStats& st) {
+    long total = 0;
+    for (int k = 0; k < kMaxRungs; ++k) {
+      total += st.rung_histogram[static_cast<std::size_t>(k)];
+    }
+    return total;
+  };
+
+  sim.step();
+  EXPECT_EQ(histTotal(sim.lastStats()), static_cast<long>(parts.size()));
+  EXPECT_GT(sim.lastStats().substeps, 0);
+
+  // Global-step mode: a stale histogram (or sub-step/limiter tally) would
+  // survive here if step() failed to reset the persistent stats member.
+  sim.config().hierarchical_timestep = false;
+  sim.step();
+  EXPECT_EQ(histTotal(sim.lastStats()), 0)
+      << "rung_histogram not cleared at step entry";
+  EXPECT_EQ(sim.lastStats().substeps, 0);
+  EXPECT_EQ(sim.lastStats().substep_units, 0);
+  EXPECT_EQ(sim.lastStats().limiter_wakes, 0);
+  EXPECT_EQ(sim.lastStats().limiter_sync_promotions, 0);
+
+  // Back to hierarchical: the histogram must cover every particle again.
+  sim.config().hierarchical_timestep = true;
+  sim.step();
+  EXPECT_EQ(histTotal(sim.lastStats()), static_cast<long>(parts.size()));
+}
+
+}  // namespace
