@@ -4,8 +4,11 @@ namespace asura::core {
 
 PoolNodeScheduler::PoolNodeScheduler(std::shared_ptr<SurrogateBackend> backend,
                                      int n_pool_nodes, long return_interval)
+    // Clamp to at least one worker: with n_pool_nodes == 0 a submitted job
+    // would sit in queue_ forever and collectDue — which waits for every
+    // due job to leave the queue — would deadlock on the first SN.
     : backend_(std::move(backend)),
-      n_pool_(n_pool_nodes),
+      n_pool_(std::max(1, n_pool_nodes)),
       return_interval_(return_interval) {
   workers_.reserve(static_cast<std::size_t>(n_pool_));
   for (int i = 0; i < n_pool_; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/distributed.hpp"
 #include "fdps/box.hpp"
 #include "util/units.hpp"
 
@@ -15,6 +16,7 @@ using util::Vec3d;
 Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
                        std::shared_ptr<SurrogateBackend> backend)
     : parts_(std::move(particles)),
+      n_local_(parts_.size()),
       cfg_(cfg),
       backend_(std::move(backend)),
       rng_(cfg.seed, 0x51D) {
@@ -25,6 +27,12 @@ Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
   }
 }
 
+Simulation::~Simulation() = default;
+
+void Simulation::attachDistributed(std::unique_ptr<DistributedEngine> engine) {
+  dist_ = std::move(engine);
+}
+
 StepStats Simulation::step() {
   // Full reset of the persistent lastStats() member: a run that alternates
   // hierarchical on/off must never see the previous mode's rung histogram,
@@ -32,6 +40,23 @@ StepStats Simulation::step() {
   stats_ = StepStats{};
   StepStats& stats = stats_;
   step_ctx_.beginStep();
+
+  // (0) Distributed phase 0: the previous step's ghost suffix detaches,
+  // domains recut when due, and every local ships to its owner. Runs before
+  // SN identification so captures, boxes and owner lookups all see settled
+  // ownership; positions have not moved since the last force pass, so the
+  // exchange cache survives exactly when nothing migrated and no recut ran.
+  if (dist_) {
+    util::TimerRegistry::Scope scope(timers_, "Exchange_Particle");
+    dist_->beginStep();
+    dist_->detachGhosts(parts_, n_local_, step_ctx_);
+    dist_->exchangeParticles(parts_, step_ctx_, rng_, step_);
+    n_local_ = parts_.size();
+    id_index_valid_ = false;
+  } else {
+    n_local_ = parts_.size();
+  }
+
   double dt = cfg_.dt_global;
   if (cfg_.adaptive_timestep && !cfg_.hierarchical_timestep) {
     // Conventional baseline: global shared timestep limited by the CFL
@@ -42,25 +67,38 @@ StepStats Simulation::step() {
     // Cold start (no pass recorded yet, e.g. a restart from evolved state
     // with hot cs/vsig): fall back to the standalone sweep once.
     if (!std::isfinite(last_cfl_dt_)) {
-      last_cfl_dt_ = sph::cflTimestep(parts_, cfg_.sph);
+      last_cfl_dt_ = sph::cflTimestep(localSpan(), cfg_.sph);
     }
     dt = std::clamp(std::min(cfg_.dt_global, last_cfl_dt_), cfg_.cfl_dt_min,
                     cfg_.dt_global);
+    // Every rank must take the same step: the CFL minimum is global.
+    if (dist_) dt = dist_->comm().allreduce(dt, comm::Op::Min);
   }
   stats.dt_used = dt;
 
-  // (1) Identify stars exploding between t and t + dt.
+  // (1) Identify stars exploding between t and t + dt. Distributed: the
+  // per-rank lists merge into one globally ordered list so every rank
+  // processes the same events in the same order.
   std::vector<stellar::SnEvent> events;
   {
     util::TimerRegistry::Scope scope(timers_, "Identify_SNe");
-    events = stellar::identifySupernovae(parts_, t_, dt);
+    events = stellar::identifySupernovae(localSpan(), t_, dt);
+    if (dist_) events = dist_->gatherEvents(std::move(events));
     stats.sn_identified = static_cast<int>(events.size());
   }
 
-  // (2) Pick up (60 pc)^3 regions and send them to pool nodes.
+  // (2) Pick up (60 pc)^3 regions and send them to pool nodes. Distributed:
+  // a region near a domain boundary is captured from every contributing
+  // rank and merged on the event's owner, which submits to its own pool.
   if (cfg_.use_surrogate) {
     util::TimerRegistry::Scope scope(timers_, "Send_SNe");
-    captureAndSendRegions(events, stats);
+    if (dist_) {
+      stats.regions_sent = dist_->captureAndSubmit(parts_, n_local_, events,
+                                                   pool_.get(), cfg_.sn_box_size,
+                                                   cfg_.surrogate_horizon, step_);
+    } else {
+      captureAndSendRegions(events, stats);
+    }
   }
 
   // (3) Integration to t + dt: either the fixed global kick-drift-kick or
@@ -70,7 +108,10 @@ StepStats Simulation::step() {
   } else {
     {
       util::TimerRegistry::Scope scope(timers_, "Integration");
-      for (auto& p : parts_) {
+      const auto n_loc = static_cast<std::int64_t>(n_local_);
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < n_loc; ++i) {
+        auto& p = parts_[static_cast<std::size_t>(i)];
         p.vel += 0.5 * dt * p.acc;
         p.pos += dt * p.vel;
         if (p.isGas() && !p.frozen) {
@@ -78,42 +119,78 @@ StepStats Simulation::step() {
         }
       }
       step_ctx_.invalidate();  // drift moved every particle
+      if (dist_) {
+        double v2max = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : v2max)
+        for (std::int64_t i = 0; i < n_loc; ++i) {
+          v2max = std::max(v2max, parts_[static_cast<std::size_t>(i)].vel.norm2());
+        }
+        dist_->noteDrift(dt * std::sqrt(v2max));
+      }
     }
 
     // Force evaluation (tree gravity + SPH) and second kick.
     computeForces(stats, /*first_pass=*/true);
     {
       util::TimerRegistry::Scope scope(timers_, "Final_kick");
-      for (auto& p : parts_) p.vel += 0.5 * dt * p.acc;
+      for (std::size_t i = 0; i < n_local_; ++i) {
+        parts_[i].vel += 0.5 * dt * parts_[i].acc;
+      }
     }
   }
+
+  // Star formation, cooling, capture bookkeeping and the receive path all
+  // operate on pure locals; the force passes re-attach imports on demand.
+  if (dist_) dist_->detachGhosts(parts_, n_local_, step_ctx_);
 
   // (4) Receive predictions due this step; replace particles by id.
   if (cfg_.use_surrogate) {
     util::TimerRegistry::Scope scope(timers_, "Receive_SNe");
-    receiveAndReplace(stats);
+    if (dist_) {
+      // Per-rank pools hold only regions this rank owns; the predictions
+      // allgather so a frozen particle that migrated since capture is still
+      // found by id wherever it now lives.
+      auto due = pool_ ? pool_->collectDue(step_)
+                       : std::vector<std::vector<Particle>>{};
+      stats.regions_received += static_cast<int>(due.size());
+      const auto merged = dist_->gatherPredictions(due);
+      applyPredictions(merged, stats);
+    } else {
+      receiveAndReplace(stats);
+    }
   } else if (!events.empty()) {
     // Conventional path: direct thermal injection (the timestep killer).
     util::TimerRegistry::Scope scope(timers_, "Preprocess_of_Feedback");
-    directFeedback(events);
+    if (dist_) {
+      dist_->directFeedback(parts_, n_local_, events, cfg_.feedback_radius);
+      dist_->markDirty();  // remote pressures near boundaries changed
+    } else {
+      directFeedback(events);
+    }
   }
 
-  // (5) Domain decomposition and particle exchange. The distributed path
-  // lives in fdps::DomainDecomposer (exercised in tests/benches); in this
-  // serial driver the category records the bookkeeping cost only.
-  {
+  // (5) Domain decomposition and particle exchange: the distributed driver
+  // ran it as phase 0 (before captures needed settled ownership); the
+  // serial driver keeps the bookkeeping category only.
+  if (!dist_) {
     util::TimerRegistry::Scope scope(timers_, "Exchange_Particle");
     // Keep particles sorted by id for deterministic id-based replacement.
   }
 
-  // (6) Star formation, cooling and heating.
+  // (6) Star formation, cooling and heating (locals only — ghosts are
+  // detached, their home ranks run the same physics on the originals).
   {
     util::TimerRegistry::Scope scope(timers_, "Star_Formation");
     if (cfg_.enable_star_formation) {
       const int formed =
           stellar::formStars(parts_, t_, dt, cfg_.star_formation, imf_, rng_);
       stats.stars_formed = formed;
-      if (formed > 0) step_ctx_.invalidate();  // gas became stars
+      if (formed > 0) {
+        step_ctx_.invalidate();  // gas became stars
+        // Species changed: remote ranks may hold ghost copies of the
+        // converted particles, so the exchanged sets must rebuild.
+        if (dist_) dist_->markDirty();
+      }
       double mass_formed = 0.0;
       for (const auto& p : parts_) {
         if (p.isStar() && p.t_form == t_) mass_formed += p.mass;
@@ -131,7 +208,10 @@ StepStats Simulation::step() {
   // (7) Recalculate hydro quantities after the internal energy changed.
   // When neither the surrogate nor star formation touched positions or
   // species this step, the cached trees from the first pass are still
-  // valid and this pass performs no builds at all.
+  // valid and this pass performs no builds at all — and on a distributed
+  // step the cached LET entry set and ghost list are reused outright (zero
+  // exportLet walks; ghosts get a payload-only value refresh so remote
+  // cooling stays visible).
   computeForces(stats, /*first_pass=*/false);
 
   // Sync half of the limiter: rungs this final pass still saw lagging are
@@ -143,6 +223,17 @@ StepStats Simulation::step() {
 
   stats.tree_builds = step_ctx_.buildsThisStep();
   stats.tree_refreshes = step_ctx_.refreshesThisStep();
+  stats.let_exchanges = step_ctx_.letExchangesThisStep();
+  stats.let_export_walks = step_ctx_.letExportWalksThisStep();
+  stats.let_reuses = step_ctx_.letReusesThisStep();
+  stats.ghost_exchanges = step_ctx_.ghostExchangesThisStep();
+  stats.ghost_value_refreshes = step_ctx_.ghostValueRefreshesThisStep();
+  stats.ghost_reuses = step_ctx_.ghostReusesThisStep();
+  if (dist_) {
+    stats.migrated = dist_->stats().migrated;
+    stats.reach_retries = dist_->stats().reach_retries;
+    stats.reach_giveups = dist_->stats().reach_giveups;
+  }
   t_ += dt;
   ++step_;
   return stats;
@@ -306,6 +397,9 @@ void Simulation::applyWakes(long n, long nfull, double dt_min, int kmax,
                             StepStats& stats) {
   if (wake_requests_.empty()) return;
   forEachWakeNeighbour(wake_requests_, parts_, [&](std::uint32_t j, int k_req) {
+    // Ghost neighbours cannot be woken from here: their home rank's own
+    // force passes see the same pair gap and wake the real particle.
+    if (static_cast<std::size_t>(j) >= n_local_) return;
     auto& p = parts_[j];
     const std::size_t js = static_cast<std::size_t>(j);
     if (step_end_[js] == n) return;  // closed this sub-step: already fresh
@@ -349,6 +443,7 @@ void Simulation::applyWakes(long n, long nfull, double dt_min, int kmax,
 void Simulation::applySyncRungFloor(StepStats& stats) {
   const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
   forEachWakeNeighbour(wake_requests_, parts_, [&](std::uint32_t j, int k_req) {
+    if (static_cast<std::size_t>(j) >= n_local_) return;  // ghost: home rank's job
     const int k_target = std::min(k_req - sph::kLimiterGap, kmax);
     auto& p = parts_[j];
     if (static_cast<int>(p.rung) >= k_target) return;
@@ -358,11 +453,20 @@ void Simulation::applySyncRungFloor(StepStats& stats) {
   wake_requests_.clear();
 }
 
+void Simulation::syncStepArrays() {
+  if (step_end_.size() != parts_.size()) {
+    // New slots are ghost imports: a sentinel end keeps them out of every
+    // opening scan, closing set and kick (ghosts only ever coast).
+    step_begin_.resize(parts_.size(), 0);
+    step_end_.resize(parts_.size(), -1);
+  }
+}
+
 void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
   const int kmax = std::clamp(cfg_.max_rung, 0, kMaxRungs - 1);
   const long nfull = 1L << kmax;
   const double dt_min = dt / static_cast<double>(nfull);
-  const auto n_parts = static_cast<std::int64_t>(parts_.size());
+  const auto n_loc = static_cast<std::int64_t>(n_local_);
 
   // Rung assignment at the sync point: every boundary is aligned at n = 0,
   // so each particle takes its criterion rung directly. The first step ever
@@ -376,7 +480,7 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
     step_end_.assign(parts_.size(), 0);  // "opens at sub-unit 0"
     int hist[kMaxRungs] = {};
 #pragma omp parallel for schedule(static) reduction(+ : hist[:kMaxRungs])
-    for (std::int64_t i = 0; i < n_parts; ++i) {
+    for (std::int64_t i = 0; i < n_loc; ++i) {
       auto& p = parts_[static_cast<std::size_t>(i)];
       p.rung = static_cast<std::uint8_t>(desiredRung(p, dt));
       ++hist[p.rung];
@@ -394,6 +498,18 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
     return (n & ((nfull >> rung) - 1)) == 0;
   };
 
+  // Distributed: attach (or exchange) the ghost suffix BEFORE the first
+  // drift, so sub-step 1's density gather sees boundary neighbours at the
+  // same epoch as locals — the serial loop drifts every neighbour every
+  // sub-step, and a suffix attached only after the first drift would lag
+  // it by one sub_dt. Collective; runs once per rank per step.
+  if (dist_) {
+    util::TimerRegistry::Scope scope(timers_, "1st Exchange_LET");
+    dist_->ensureExchanged(parts_, n_local_, step_ctx_, cfg_.gravity,
+                           /*allow_value_refresh=*/false);
+    syncStepArrays();
+  }
+
   long n = 0;
   bool first_sub = true;
   while (n < nfull) {
@@ -403,12 +519,13 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
     // are untouched: they keep coasting on their held acceleration ("drifted
     // by prediction"). Openings are recognized from the explicit per-
     // particle step bookkeeping — after a mid-step wake shortened a step,
-    // rung alignment alone no longer describes who opens where.
+    // rung alignment alone no longer describes who opens where. Locals
+    // only: ghost rungs belong to their home rank's loop.
     int k_deep = 0;
     {
       util::TimerRegistry::Scope scope(timers_, "Integration");
 #pragma omp parallel for schedule(static) reduction(max : k_deep)
-      for (std::int64_t i = 0; i < n_parts; ++i) {
+      for (std::int64_t i = 0; i < n_loc; ++i) {
         auto& p = parts_[static_cast<std::size_t>(i)];
         k_deep = std::max(k_deep, static_cast<int>(p.rung));
         const auto is = static_cast<std::size_t>(i);
@@ -427,22 +544,40 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
         }
       }
     }
+    // Every rank advances by the globally deepest occupied rung: quiet
+    // ranks walk empty active sets, but all ranks reach the mid-loop
+    // collectives (cache decisions, reach checks) in lockstep.
+    if (dist_) k_deep = dist_->reduceMaxInt(k_deep);
     const long stride = nfull >> k_deep;
     const double sub_dt = dt_min * static_cast<double>(stride);
 
     // Drift ALL particles by the sub-step (independent per particle), and
     // advance every gas particle's u prediction on its held du_dt so
     // neighbour lookups see thermodynamics at the current time instead of
-    // the state frozen at the particle's last closing.
+    // the state frozen at the particle's last closing. The ghost suffix
+    // drifts too — ballistic coasting of the home rank's integration,
+    // bounded by the exchange skin.
     {
       util::TimerRegistry::Scope scope(timers_, "Integration");
+      const auto n_work = static_cast<std::int64_t>(parts_.size());
 #pragma omp parallel for schedule(static)
-      for (std::int64_t i = 0; i < n_parts; ++i) {
+      for (std::int64_t i = 0; i < n_work; ++i) {
         auto& p = parts_[static_cast<std::size_t>(i)];
         p.pos += sub_dt * p.vel;
         if (p.isGas() && !p.frozen) {
           p.u_pred = std::max(p.u_pred + sub_dt * p.du_dt, 1e-12);
         }
+      }
+      if (dist_) {
+        // Locals only: the skin budgets each rank's OWN displacement (the
+        // remote side budgets its half), and a fast imported ghost must
+        // not stampede every rank into a spurious full re-exchange.
+        double v2max = 0.0;
+#pragma omp parallel for schedule(static) reduction(max : v2max)
+        for (std::int64_t i = 0; i < n_loc; ++i) {
+          v2max = std::max(v2max, parts_[static_cast<std::size_t>(i)].vel.norm2());
+        }
+        dist_->noteDrift(sub_dt * std::sqrt(v2max));
       }
     }
     n += stride;
@@ -450,17 +585,31 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
 
     // Tree maintenance: one real rebuild per global step (after the first
     // drift), then O(N) in-place position/moment refreshes keep the cached
-    // trees consistent with the drifted sources without re-sorting.
+    // trees consistent with the drifted sources without re-sorting. The
+    // gravity tree refreshes its local entries in place while cached LET
+    // imports hold their exchanged positions.
     if (first_sub) {
       step_ctx_.invalidate();
       first_sub = false;
     } else {
-      step_ctx_.refreshGravityPositions(parts_);
+      step_ctx_.refreshGravityPositions(localSpan());
       step_ctx_.refreshGasPositions(parts_);
     }
 
+    // Distributed: make the imports valid for this sub-step *before* the
+    // closing set is collected — an attach/re-exchange resizes the work
+    // array. Quiet sub-steps reuse both cached sets (no exportLet walk, no
+    // ghost traffic beyond the one-int dirty reduce).
+    if (dist_) {
+      util::TimerRegistry::Scope scope(timers_, "1st Exchange_LET");
+      dist_->ensureExchanged(parts_, n_local_, step_ctx_, cfg_.gravity,
+                             /*allow_value_refresh=*/false);
+      syncStepArrays();
+    }
+
     // Closing set: particles whose step ends at the updated n. The deepest
-    // occupied rung closes every iteration, so the set is never empty.
+    // occupied rung closes every iteration, so the set is never empty
+    // globally (a quiet rank's local set may be).
     collectClosingSet(n, stats);
     computeForcesActive(stats, active_idx_, active_gas_idx_);
 
@@ -509,23 +658,87 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
   }
 }
 
+sph::DensityStats Simulation::solveDensityWithReachRetries(
+    std::span<const std::uint32_t> active_gas, bool full_set) {
+  const auto snapshot_h = [&] {
+    if (!dist_) return;
+    // Snapshot the pre-solve supports: a stale-reach re-solve must start
+    // from the same initial guesses the serial solve gets, or the closure
+    // (which accepts any H inside its tolerance band) converges to a point
+    // a rank-count-invariant run can't reach.
+    const std::size_t n = full_set ? n_local_ : active_gas.size();
+    h_save_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      h_save_[k] = parts_[full_set ? k : active_gas[k]].h;
+    }
+  };
+  const auto restore_h = [&] {
+    const std::size_t n = full_set ? n_local_ : active_gas.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      parts_[full_set ? k : active_gas[k]].h = h_save_[k];
+    }
+  };
+  const auto solve = [&]() -> sph::DensityStats {
+    if (full_set) return sph::solveDensity(step_ctx_, parts_, n_local_, cfg_.sph);
+    if (active_gas.empty()) return {};
+    return sph::solveDensity(step_ctx_, parts_, n_local_, cfg_.sph, active_gas);
+  };
+
+  snapshot_h();
+  auto ds = solve();
+  if (!dist_) return ds;
+
+  // Stale-reach loop (collective): if the solve grew any rank's gather
+  // radius past its exported reach, the pre-exchanged ghost set under-
+  // covers the new supports — re-exchange with the grown radii and
+  // re-solve instead of silently under-importing neighbours. The retry
+  // count is uniform across ranks because the escape decision is an
+  // allreduce, so the collective call sequence never diverges between the
+  // full-set and active-set passes sharing this body.
+  const int max_retries = dist_->config().max_reach_retries;
+  int retries = 0;
+  while (retries < max_retries &&
+         dist_->reexchangeIfReachEscaped(parts_, n_local_, step_ctx_)) {
+    syncStepArrays();
+    restore_h();
+    accumulate(ds, solve());
+    ++retries;
+  }
+  // Exhausted the cap with the reach possibly still escaped: record the
+  // degraded pass instead of proceeding silently.
+  if (retries == max_retries) {
+    (void)dist_->noteReachGiveupIfStillEscaped(parts_, n_local_);
+  }
+  return ds;
+}
+
 void Simulation::computeForcesActive(StepStats& stats,
                                      std::span<const std::uint32_t> active,
                                      std::span<const std::uint32_t> active_gas) {
   // Requests are per-pass: never let a skipped hydro pass leak the previous
   // sub-step's wake list into this sub-step's processing.
   wake_requests_.clear();
-  if (active.empty()) return;
+  // A distributed rank with an empty closing set still participates in the
+  // collective stale-reach checks below.
+  if (!dist_ && active.empty()) return;
 
-  if (!active_gas.empty()) {
+  {
     util::TimerRegistry::Scope scope(timers_, "1st Calc_Kernel_Size_and_Density");
-    const auto ds =
-        sph::solveDensity(step_ctx_, parts_, parts_.size(), cfg_.sph, active_gas);
+    const auto ds = solveDensityWithReachRetries(active_gas, /*full_set=*/false);
     timers_.add("Tree_Build", ds.t_build);
     timers_.add("Tree_Walk (cpu)", ds.t_walk);
     timers_.add("Interaction_Kernel (cpu)", ds.t_kernel);
     accumulate(stats.density_stats, ds);
   }
+  // Post-density ghost payload refresh (collective — must precede any
+  // rank-dependent early return): active targets read neighbour rho/pres
+  // that only the neighbour's home rank just solved.
+  if (dist_) {
+    util::TimerRegistry::Scope scope(timers_, "1st Exchange_LET");
+    dist_->refreshGhostPayloads(parts_, n_local_, step_ctx_);
+    syncStepArrays();
+  }
+  if (active.empty()) return;
 
   {
     util::TimerRegistry::Scope scope(timers_, "1st Make_Local_Tree");
@@ -536,14 +749,16 @@ void Simulation::computeForcesActive(StepStats& stats,
   }
   {
     util::TimerRegistry::Scope scope(timers_, "1st Calc_Force");
-    const auto gs =
-        gravity::accumulateTreeGravity(step_ctx_, parts_, {}, cfg_.gravity, active);
+    const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
+                           : std::span<const fdps::SourceEntry>{};
+    const auto gs = gravity::accumulateTreeGravity(step_ctx_, localSpan(), let,
+                                                   cfg_.gravity, active);
     timers_.add("Tree_Build", gs.t_build);
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
     accumulate(stats.gravity_stats, gs);
     const auto fs = sph::accumulateHydroForce(
-        step_ctx_, parts_, parts_.size(), cfg_.sph, active_gas,
+        step_ctx_, parts_, n_local_, cfg_.sph, active_gas,
         cfg_.timestep_limiter ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
@@ -560,6 +775,15 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
   const char* kernel_cat =
       first_pass ? "1st Calc_Kernel_Size_and_Density" : "2nd Calc_Kernel_Size";
 
+  // Distributed: make the LET imports and ghost suffix valid (collective).
+  // A clean pass reuses both cached sets — zero exportLet walks — shipping
+  // only fresh ghost payloads along the remembered export lists.
+  if (dist_) {
+    util::TimerRegistry::Scope scope(timers_, let_cat);
+    dist_->ensureExchanged(parts_, n_local_, step_ctx_, cfg_.gravity,
+                           /*allow_value_refresh=*/true);
+  }
+
   // SPH kernel size + density (+ div/curl, pressure). The gas tree built
   // here (or reused from the previous pass) is shared with the hydro force
   // below through step_ctx_; only the smoothing lengths are refreshed.
@@ -569,27 +793,40 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
   // runs, hence the distinct "(cpu)" naming.
   {
     util::TimerRegistry::Scope scope(timers_, kernel_cat);
-    const auto ds = sph::solveDensity(step_ctx_, parts_, parts_.size(), cfg_.sph);
+    const auto ds = solveDensityWithReachRetries({}, /*full_set=*/true);
     timers_.add("Tree_Build", ds.t_build);
     timers_.add("Tree_Walk (cpu)", ds.t_walk);
     timers_.add("Interaction_Kernel (cpu)", ds.t_kernel);
     if (first_pass) stats.density_stats = ds;
   }
 
+  // Distributed: the exchange selected ghosts *before* the density solve,
+  // so the imported copies still carry pre-solve rho/pres/h (zeros on the
+  // very first pass). Ship every home rank's post-solve payloads along the
+  // cached export lists before any kernel divides by a neighbour's rho^2.
+  if (dist_) {
+    util::TimerRegistry::Scope scope(timers_, let_cat);
+    dist_->refreshGhostPayloads(parts_, n_local_, step_ctx_);
+  }
+
   // Gravity: the tree lives in step_ctx_ and is reused by the second pass
-  // when positions did not change; this category keeps bracketing the
-  // acceleration reset and the LET category stays for the distributed path.
+  // when positions did not change; sources are locals + the cached LET
+  // imports (hydro ghosts are represented by their home rank's LET
+  // contribution and must NOT double as gravity sources).
   {
     util::TimerRegistry::Scope scope(timers_, tree_cat);
-    for (auto& p : parts_) {
-      p.acc = Vec3d{};
-      p.pot = 0.0;
+    for (std::size_t i = 0; i < n_local_; ++i) {
+      parts_[i].acc = Vec3d{};
+      parts_[i].pot = 0.0;
     }
   }
-  { util::TimerRegistry::Scope scope(timers_, let_cat); /* serial: no-op */ }
+  { util::TimerRegistry::Scope scope(timers_, let_cat); /* exchange ran above */ }
   {
     util::TimerRegistry::Scope scope(timers_, force_cat);
-    const auto gs = gravity::accumulateTreeGravity(step_ctx_, parts_, {}, cfg_.gravity);
+    const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
+                           : std::span<const fdps::SourceEntry>{};
+    const auto gs =
+        gravity::accumulateTreeGravity(step_ctx_, localSpan(), let, cfg_.gravity);
     timers_.add("Tree_Build", gs.t_build);
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
@@ -599,7 +836,7 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     const bool collect_wakes = cfg_.hierarchical_timestep &&
                                cfg_.timestep_limiter && !first_pass;
     const auto fs =
-        sph::accumulateHydroForce(step_ctx_, parts_, parts_.size(), cfg_.sph,
+        sph::accumulateHydroForce(step_ctx_, parts_, n_local_, cfg_.sph,
                                   collect_wakes ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
@@ -611,10 +848,10 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     last_cfl_dt_ = fs.dt_cfl_min;
   }
   std::size_t n_gas = 0;
-  for (const auto& p : parts_) {
-    if (p.isGas()) ++n_gas;
+  for (std::size_t i = 0; i < n_local_; ++i) {
+    if (parts_[i].isGas()) ++n_gas;
   }
-  stats.force_evaluations += parts_.size() + n_gas;
+  stats.force_evaluations += n_local_ + n_gas;
 }
 
 void Simulation::captureAndSendRegions(const std::vector<stellar::SnEvent>& events,
@@ -641,10 +878,10 @@ void Simulation::captureAndSendRegions(const std::vector<stellar::SnEvent>& even
 }
 
 const std::unordered_map<std::uint64_t, std::size_t>& Simulation::idIndex() {
-  if (!id_index_valid_ || id_index_.size() != parts_.size()) {
+  if (!id_index_valid_ || id_index_.size() != n_local_) {
     id_index_.clear();
-    id_index_.reserve(parts_.size());
-    for (std::size_t i = 0; i < parts_.size(); ++i) id_index_[parts_[i].id] = i;
+    id_index_.reserve(n_local_);
+    for (std::size_t i = 0; i < n_local_; ++i) id_index_[parts_[i].id] = i;
     id_index_valid_ = true;
   }
   return id_index_;
@@ -654,39 +891,53 @@ void Simulation::receiveAndReplace(StepStats& stats) {
   if (!pool_) return;
   const auto due = pool_->collectDue(step_);
   if (due.empty()) return;
+  for (const auto& prediction : due) {
+    ++stats.regions_received;
+    applyPredictions(prediction, stats);
+  }
+}
+
+void Simulation::applyPredictions(std::span<const Particle> preds, StepStats& stats) {
+  if (preds.empty()) return;
   // The persistent id index survives across receives: in-place replacement
   // keeps both ids and array positions stable, so the O(N log N) rebuild
   // the seed performed per receive is needed only after add/reorder.
   const auto* index = &idIndex();
   bool rebuilt = false;
   int replaced = 0;
-  for (const auto& prediction : due) {
-    ++stats.regions_received;
-    for (const auto& q : prediction) {
-      auto it = index->find(q.id);
-      const bool stale_hit = it != index->end() && parts_[it->second].id != q.id;
-      if ((stale_hit || (it == index->end() && !rebuilt))) {
-        // A mismatched hit proves the index is stale (external mutation
-        // through particles()); a miss merely might be — rebuild once per
-        // receive before concluding the particle really left the domain.
-        id_index_valid_ = false;
-        index = &idIndex();
-        rebuilt = true;
-        it = index->find(q.id);
-      }
-      if (it == index->end()) continue;  // left the domain meanwhile
-      Particle& p = parts_[it->second];
-      p.pos = q.pos;
-      p.vel = q.vel;
-      p.u = q.u;
-      p.rho = q.rho;
-      p.h = q.h;
-      p.frozen = 0;
-      ++replaced;
+  for (const auto& q : preds) {
+    auto it = index->find(q.id);
+    const bool stale_hit = it != index->end() && parts_[it->second].id != q.id;
+    // A mismatched hit proves the index is stale (external mutation through
+    // particles()); a serial miss merely might be — rebuild once per
+    // receive before concluding the particle really left the domain. On a
+    // distributed receive misses are the NORM, not an anomaly: the
+    // prediction list is global and ~(P-1)/P of its ids live on other
+    // ranks, while phase 0 already rebuilt this step's index — so only a
+    // provably stale hit triggers the O(n_local) rebuild there.
+    if ((stale_hit || (it == index->end() && !rebuilt && !dist_))) {
+      id_index_valid_ = false;
+      index = &idIndex();
+      rebuilt = true;
+      it = index->find(q.id);
     }
+    if (it == index->end()) continue;  // lives on another rank / left the domain
+    Particle& p = parts_[it->second];
+    p.pos = q.pos;
+    p.vel = q.vel;
+    p.u = q.u;
+    p.rho = q.rho;
+    p.h = q.h;
+    p.frozen = 0;
+    ++replaced;
   }
   stats.particles_replaced += replaced;
-  if (replaced > 0) step_ctx_.invalidate();  // surrogate moved particles
+  if (replaced > 0) {
+    step_ctx_.invalidate();  // surrogate moved particles
+    // Replaced locals may be ghost-exported elsewhere: positions jumped, so
+    // the exchanged sets must rebuild before the next force pass.
+    if (dist_) dist_->markDirty();
+  }
 }
 
 void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {
@@ -695,7 +946,7 @@ void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {
   for (const auto& ev : events) {
     double mass_sum = 0.0;
     std::vector<std::size_t> sel;
-    for (std::size_t i = 0; i < parts_.size(); ++i) {
+    for (std::size_t i = 0; i < n_local_; ++i) {
       const auto& p = parts_[i];
       if (!p.isGas()) continue;
       if ((p.pos - ev.pos).norm() < cfg_.feedback_radius) {
@@ -705,8 +956,8 @@ void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {
     }
     if (sel.empty()) {
       double best = 1e300;
-      std::size_t arg = parts_.size();
-      for (std::size_t i = 0; i < parts_.size(); ++i) {
+      std::size_t arg = n_local_;
+      for (std::size_t i = 0; i < n_local_; ++i) {
         if (!parts_[i].isGas()) continue;
         const double d = (parts_[i].pos - ev.pos).norm();
         if (d < best) {
@@ -714,7 +965,7 @@ void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {
           arg = i;
         }
       }
-      if (arg == parts_.size()) continue;
+      if (arg == n_local_) continue;
       sel.push_back(arg);
       mass_sum = parts_[arg].mass;
     }
@@ -724,29 +975,33 @@ void Simulation::directFeedback(const std::vector<stellar::SnEvent>& events) {
 
 EnergyReport Simulation::energyReport() const {
   EnergyReport e;
-  for (const auto& p : parts_) {
+  for (const auto& p : localSpan()) {
     e.kinetic += 0.5 * p.mass * p.vel.norm2();
     if (p.isGas()) e.thermal += p.mass * p.u;
-    e.potential += p.mass * p.pot;
+    // pot_i = sum_j -G m_j / r_ij visits every pair from both sides, so the
+    // pair potential energy is half of sum(m_i * pot_i). The seed skipped
+    // the 1/2 here and compensated inside total() only, leaving direct
+    // readers of `potential` with twice the physical energy.
+    e.potential += 0.5 * p.mass * p.pot;
   }
   return e;
 }
 
 Vec3d Simulation::totalMomentum() const {
   Vec3d m{};
-  for (const auto& p : parts_) m += p.mass * p.vel;
+  for (const auto& p : localSpan()) m += p.mass * p.vel;
   return m;
 }
 
 Vec3d Simulation::totalAngularMomentum() const {
   Vec3d l{};
-  for (const auto& p : parts_) l += p.mass * p.pos.cross(p.vel);
+  for (const auto& p : localSpan()) l += p.mass * p.pos.cross(p.vel);
   return l;
 }
 
 util::Histogram Simulation::densityPdf(int bins) const {
   util::Histogram h(1e-8, 1e4, static_cast<std::size_t>(bins), /*log=*/true);
-  for (const auto& p : parts_) {
+  for (const auto& p : localSpan()) {
     if (p.isGas()) h.add(p.rho, p.mass);
   }
   return h;
@@ -754,7 +1009,7 @@ util::Histogram Simulation::densityPdf(int bins) const {
 
 util::Histogram Simulation::temperaturePdf(int bins) const {
   util::Histogram h(1.0, 1e9, static_cast<std::size_t>(bins), /*log=*/true);
-  for (const auto& p : parts_) {
+  for (const auto& p : localSpan()) {
     if (p.isGas()) h.add(units::u_to_temperature(p.u, 0.6), p.mass);
   }
   return h;
@@ -765,7 +1020,7 @@ std::vector<double> Simulation::columnDensityMap(int axis, int nx, int ny,
   std::vector<double> map(static_cast<std::size_t>(nx) * ny, 0.0);
   const double cell_x = 2.0 * half_extent / nx;
   const double cell_y = 2.0 * half_extent / ny;
-  for (const auto& p : parts_) {
+  for (const auto& p : localSpan()) {
     if (!p.isGas()) continue;
     double u, v;
     switch (axis) {

@@ -85,6 +85,22 @@
 /// bitwise deterministic in the thread count: per-particle updates are
 /// independent, reductions are over integers, and the closing set is
 /// collected by fixed-chunk count-then-fill in index order.
+///
+/// # Distributed steps (attachDistributed)
+///
+/// With a core::DistributedEngine attached, step() runs the multi-rank
+/// anatomy over the in-process SPMD cluster: decompose + migrate owned
+/// particles (phase 0), cross-rank SN capture, force passes over locals +
+/// imported LET entries + hydro ghosts, prediction return by id-allgather,
+/// and collective cache decisions everywhere a rank-local choice could
+/// diverge (see distributed.hpp). The particle array then holds
+/// [locals | ghosts] between exchanges with nLocal() marking the boundary;
+/// every local-state loop in this file is bounded by n_local_, every
+/// all-particle drift spans the ghosts too (ballistic coasting). In the
+/// hierarchical scheme the per-sub-step deepest rung is max-reduced across
+/// ranks so all ranks run the same sub-step cadence (mid-loop collectives
+/// would otherwise deadlock), and mid-step wakes apply to local neighbours
+/// only — a ghost's home rank wakes the real particle at its own passes.
 
 #include <array>
 #include <limits>
@@ -104,6 +120,8 @@
 #include "util/timer.hpp"
 
 namespace asura::core {
+
+class DistributedEngine;
 
 /// Number of representable rungs: rung k in [0, kMaxRungs) has
 /// dt = dt_global / 2^k.
@@ -190,21 +208,45 @@ struct StepStats {
   gravity::GravityStats gravity_stats{};  ///< hierarchical: summed over sub-steps
   sph::DensityStats density_stats{};
   sph::ForceStats force_stats{};
+  // --- distributed exchange cache (all zero on serial steps) ---
+  int let_exchanges = 0;         ///< full LET exchanges this step
+  int let_export_walks = 0;      ///< exportLet tree walks (P-1 per exchange)
+  int let_reuses = 0;            ///< force passes served from the cached LET set
+  int ghost_exchanges = 0;       ///< full ghost selections + alltoalls
+  int ghost_value_refreshes = 0; ///< payload-only refreshes of the cached list
+  int ghost_reuses = 0;          ///< passes that reused the coasted ghosts as-is
+  int migrated = 0;              ///< particles that changed owner (global)
+  int reach_retries = 0;         ///< stale-reach re-exchange + re-solve rounds
+  /// Passes that hit max_reach_retries with the reach still escaped — the
+  /// pass proceeded on a truncated neighbour set (raise ghost_h_margin).
+  int reach_giveups = 0;
 };
 
 struct EnergyReport {
   double kinetic = 0.0;
   double thermal = 0.0;
+  /// Gravitational potential energy, pair-counted once: the accumulation
+  /// applies the 1/2 to sum(m_i * pot_i), which visits every pair from both
+  /// sides. (The seed exported the doubled sum and halved it only inside
+  /// total(), so direct consumers of `potential` read 2x the energy.)
   double potential = 0.0;
-  [[nodiscard]] double total() const { return kinetic + thermal + 0.5 * potential; }
+  [[nodiscard]] double total() const { return kinetic + thermal + potential; }
 };
 
 class Simulation {
  public:
   Simulation(std::vector<fdps::Particle> particles, SimulationConfig cfg,
              std::shared_ptr<SurrogateBackend> backend = nullptr);
+  ~Simulation();
 
-  /// Advance one global step; returns per-step statistics.
+  /// Switch this rank's step() onto the multi-rank anatomy (see the
+  /// distributed-steps section above). Must be called before the first
+  /// step, by every rank of the engine's communicator.
+  void attachDistributed(std::unique_ptr<DistributedEngine> engine);
+  [[nodiscard]] DistributedEngine* distributed() { return dist_.get(); }
+
+  /// Advance one global step; returns per-step statistics. With an engine
+  /// attached this is collective across ranks.
   StepStats step();
 
   /// Statistics of the most recent step. Backed by a member that step()
@@ -222,6 +264,10 @@ class Simulation {
 
   [[nodiscard]] double time() const { return t_; }
   [[nodiscard]] long stepCount() const { return step_; }
+  /// Count of locally *owned* particles: particles()[0, nLocal()) are
+  /// locals, anything beyond is an imported ghost (distributed runs only;
+  /// serial runs always have nLocal() == particles().size()).
+  [[nodiscard]] std::size_t nLocal() const { return n_local_; }
   [[nodiscard]] const std::vector<fdps::Particle>& particles() const { return parts_; }
   /// Mutable access for drivers/tests. External mutation of thermodynamic
   /// state (u, vel) between steps is only reflected in the timestep logic
@@ -278,15 +324,47 @@ class Simulation {
   void captureAndSendRegions(const std::vector<stellar::SnEvent>& events,
                              StepStats& stats);
   void receiveAndReplace(StepStats& stats);
+  /// Replace locals by id from a batch of predicted particles (shared by
+  /// the serial receive path and the distributed id-allgather path).
+  void applyPredictions(std::span<const fdps::Particle> preds, StepStats& stats);
   void directFeedback(const std::vector<stellar::SnEvent>& events);
+  /// Local span of the working array ([0, n_local_)): force targets, kicks,
+  /// rung bookkeeping and diagnostics never touch the ghost suffix. A
+  /// serial Simulation has no ghost suffix, so the span covers the whole
+  /// array even when a driver appended particles through the mutable
+  /// particles() accessor since the last step (n_local_ resyncs at step
+  /// entry; mid-step external appends are only defined serially).
+  [[nodiscard]] std::span<fdps::Particle> localSpan() {
+    return {parts_.data(), dist_ ? n_local_ : parts_.size()};
+  }
+  [[nodiscard]] std::span<const fdps::Particle> localSpan() const {
+    return {parts_.data(), dist_ ? n_local_ : parts_.size()};
+  }
+  /// Density solve plus the distributed stale-reach protocol (snapshot the
+  /// pre-solve supports, re-exchange + restored-h re-solve while any rank's
+  /// reach escaped, record a give-up at the cap). One body for the full-set
+  /// and active-set passes: the collective call sequence inside must never
+  /// diverge between them. `active_gas` empty + full_set selects the
+  /// whole-array solve.
+  sph::DensityStats solveDensityWithReachRetries(
+      std::span<const std::uint32_t> active_gas, bool full_set);
+  /// Resize the per-particle step bookkeeping after a ghost attach/detach
+  /// changed parts_.size() mid-sub-step-loop; new (ghost) slots get a
+  /// sentinel end that never matches a sub-unit, so they never open, close
+  /// or join an active set.
+  void syncStepArrays();
   /// Id -> index lookup, rebuilt lazily after the particle array changes
   /// (add/reorder) instead of on every surrogate receive.
   const std::unordered_map<std::uint64_t, std::size_t>& idIndex();
 
   std::vector<fdps::Particle> parts_;
+  /// Owned-particle count; parts_[n_local_, end) is the attached ghost
+  /// suffix of a distributed step (== parts_.size() on serial runs).
+  std::size_t n_local_ = 0;
   SimulationConfig cfg_;
   std::shared_ptr<SurrogateBackend> backend_;
   std::unique_ptr<PoolNodeScheduler> pool_;
+  std::unique_ptr<DistributedEngine> dist_;
   util::TimerRegistry timers_;
   util::Pcg32 rng_;
   stellar::KroupaImf imf_;
@@ -316,6 +394,9 @@ class Simulation {
   std::vector<std::uint64_t> wake_requests_;
   /// Per-chunk [all, gas] counters of the closing-set collection sweep.
   std::vector<std::uint32_t> sweep_counts_;
+  /// Pre-solve smoothing lengths of the pass's targets, restored before a
+  /// stale-reach re-solve so the closure path matches a serial run's.
+  std::vector<double> h_save_;
 };
 
 }  // namespace asura::core

@@ -1,8 +1,35 @@
 #include "core/surrogate.hpp"
 
+#include <bit>
+
 #include "sph/kernels.hpp"
 
 namespace asura::core {
+
+namespace {
+
+/// splitmix64 finalizer: the standard bijective avalanche mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-job rng stream: a hash of the region's particle ids
+/// and the SN position. Two pool workers never share generator state, and
+/// the sampled particles are a pure function of the job — independent of
+/// worker count, scheduling order, and how many jobs ran before.
+std::uint64_t jobStream(const std::vector<Particle>& region, const Vec3d& sn_pos) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;  // pi digits: arbitrary nonzero
+  for (const auto& p : region) h = mix64(h ^ p.id);
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(sn_pos.x));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(sn_pos.y));
+  h = mix64(h ^ std::bit_cast<std::uint64_t>(sn_pos.z));
+  return h;
+}
+
+}  // namespace
 
 std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region,
                                                     const Vec3d& sn_pos, double energy,
@@ -10,6 +37,7 @@ std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region
   (void)energy;
   (void)horizon;
   if (region.empty()) return region;
+  util::Pcg32 job_rng(seed_, jobStream(region, sn_pos));
   // Fig. 3 pipeline: particles -> 5-field voxel cube -> 8 log channels ->
   // U-Net -> decode -> Gibbs-sample particles (ids & masses preserved).
   const sph::Kernel kernel{};
@@ -22,7 +50,7 @@ std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region
   auto predicted = net_.forward(channels);
   for (std::size_t i = 0; i < predicted.numel(); ++i) predicted[i] += channels[i];
   const auto out_grid = voxel::decodeGrid(predicted, box_size_, grid.origin, vparams_);
-  return voxel::gridToParticles(out_grid, region, vparams_, rng_);
+  return voxel::gridToParticles(out_grid, region, vparams_, job_rng);
 }
 
 }  // namespace asura::core

@@ -54,11 +54,20 @@ class SedovOracleBackend final : public SurrogateBackend {
 };
 
 /// The deep-learning pipeline of Fig. 3.
+///
+/// Thread safety: predict() is called concurrently by every pool worker on
+/// the one shared backend, so it holds no mutable sampling state — each job
+/// derives a private Pcg32 from (seed, hash of the region ids and SN
+/// position). Predictions are therefore independent of worker count and
+/// scheduling order, and two identical jobs sample identically. (The
+/// pre-fix code mutated a single member Pcg32 from all workers at once: a
+/// data race, and scheduling-order-dependent output even when it happened
+/// not to tear.) The U-Net forward pass reads immutable weights.
 class UNetSurrogateBackend final : public SurrogateBackend {
  public:
   UNetSurrogateBackend(ml::UNetConfig net_cfg, voxel::VoxelParams voxel_params,
                        double box_size = 60.0, std::uint64_t seed = 2024)
-      : net_(net_cfg), vparams_(voxel_params), box_size_(box_size), rng_(seed) {}
+      : net_(net_cfg), vparams_(voxel_params), box_size_(box_size), seed_(seed) {}
 
   /// Load trained weights (.annx) produced by the training example.
   void loadWeights(const std::string& path) { net_.load(path); }
@@ -74,7 +83,7 @@ class UNetSurrogateBackend final : public SurrogateBackend {
   ml::UNet3D net_;
   voxel::VoxelParams vparams_;
   double box_size_;
-  util::Pcg32 rng_;
+  std::uint64_t seed_;  ///< per-job rng streams derive from this (no shared Pcg32)
 };
 
 /// No bypass at all (conventional ablation).

@@ -18,6 +18,12 @@ void StepContext::ensureArenas() {
 void StepContext::beginStep() {
   builds_step_ = 0;
   refreshes_step_ = 0;
+  let_exchanges_step_ = 0;
+  let_walks_step_ = 0;
+  let_reuses_step_ = 0;
+  ghost_exchanges_step_ = 0;
+  ghost_refreshes_step_ = 0;
+  ghost_reuses_step_ = 0;
 }
 
 void StepContext::invalidate() {
@@ -35,13 +41,15 @@ SourceTree& StepContext::gravityTree(std::span<const Particle> particles,
                                      int leaf_size) {
   ensureArenas();
   if (!gravity_tree_valid_ || gravity_n_ != particles.size() ||
-      gravity_let_n_ != let_entries.size() || gravity_leaf_ != leaf_size) {
+      gravity_let_n_ != let_entries.size() || gravity_leaf_ != leaf_size ||
+      gravity_let_epoch_ != let_epoch_) {
     std::vector<SourceEntry> sources = makeSourceEntries(particles);
     sources.insert(sources.end(), let_entries.begin(), let_entries.end());
     gravity_tree_.build(std::move(sources), leaf_size);
     gravity_tree_valid_ = true;
     gravity_n_ = particles.size();
     gravity_let_n_ = let_entries.size();
+    gravity_let_epoch_ = let_epoch_;
     gravity_leaf_ = leaf_size;
     ++builds_step_;
     ++builds_total_;
@@ -100,10 +108,15 @@ void StepContext::refreshGasSmoothing(std::span<const Particle> work) {
 void StepContext::refreshGravityPositions(std::span<const Particle> particles) {
   gravity_groups_valid_ = false;  // bboxes went stale with the drift
   if (!gravity_tree_valid_) return;
-  if (gravity_let_n_ > 0 || gravity_n_ != particles.size()) {
-    gravity_tree_valid_ = false;  // imports have no backing array to refresh
+  if (gravity_n_ != particles.size()) {
+    gravity_tree_valid_ = false;
     return;
   }
+  // LET import entries are all multipole-tagged (let.cpp sanitizes raw
+  // boundary particles to idx = kMultipole), so refreshPositions leaves
+  // them in place — the coasting approximation the exchange skin bounds —
+  // while local entries take their drifted positions and every node moment
+  // is recomputed.
   gravity_tree_.refreshPositions(particles);
   ++refreshes_step_;
   ++refreshes_total_;

@@ -1,6 +1,7 @@
 #include "fdps/let.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace asura::fdps {
 
@@ -31,28 +32,74 @@ std::vector<Particle> exchangeHydroGhosts(comm::Comm& comm, const DomainDecompos
                                           const std::vector<Particle>& particles,
                                           double local_max_h,
                                           comm::TorusTopology* torus) {
-  const int p = comm.size();
-  // Every rank needs to know how far the others' gather kernels reach.
-  const std::vector<double> max_h = comm.allgather(local_max_h);
+  return exchangeHydroGhostsCached(comm, dd, particles, particles.size(), local_max_h,
+                                   /*h_margin=*/1.0, /*skin=*/0.0, torus)
+      .ghosts;
+}
 
+GhostExchange exchangeHydroGhostsCached(comm::Comm& comm, const DomainDecomposer& dd,
+                                        const std::vector<Particle>& particles,
+                                        std::size_t n_local, double local_max_h,
+                                        double h_margin, double skin,
+                                        comm::TorusTopology* torus) {
+  const int p = comm.size();
+  n_local = std::min(n_local, particles.size());
+  GhostExchange out;
+  out.exported_reach = local_max_h * h_margin + skin;
+  // Every rank needs to know how far the others' (margin-inflated) gather
+  // kernels reach. Exchanging the inflated value is the stale-reach fix: a
+  // density solve growing supports by up to h_margin — and both sides
+  // drifting by up to skin/2 — stays inside the exported set.
+  const std::vector<double> reach = comm.allgather(out.exported_reach);
+
+  out.export_idx.assign(static_cast<std::size_t>(p), {});
   std::vector<std::vector<Particle>> outgoing(static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     if (r == comm.rank()) continue;
     const Box remote = dd.domainOf(r);
-    const double remote_reach = max_h[static_cast<std::size_t>(r)];
-    for (const auto& part : particles) {
+    const double remote_reach = reach[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < n_local; ++i) {
+      const auto& part = particles[i];
       if (!part.isGas()) continue;
       const double d = remote.distance(part.pos);
-      if (d <= std::max(part.h, remote_reach)) {
+      if (d <= std::max(part.h * h_margin + skin, remote_reach)) {
+        out.export_idx[static_cast<std::size_t>(r)].push_back(
+            static_cast<std::uint32_t>(i));
         outgoing[static_cast<std::size_t>(r)].push_back(part);
       }
     }
   }
   const auto incoming = torus ? torus->alltoallv3d(outgoing) : comm.alltoallv(outgoing);
-  std::vector<Particle> result;
+  out.import_counts.assign(static_cast<std::size_t>(p), 0);
   for (int r = 0; r < p; ++r) {
     if (r == comm.rank()) continue;
     const auto& v = incoming[static_cast<std::size_t>(r)];
+    out.import_counts[static_cast<std::size_t>(r)] = v.size();
+    out.ghosts.insert(out.ghosts.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<Particle> refreshGhostValues(comm::Comm& comm, const GhostExchange& cache,
+                                         const std::vector<Particle>& particles,
+                                         comm::TorusTopology* torus) {
+  const int p = comm.size();
+  std::vector<std::vector<Particle>> outgoing(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto& idx = cache.export_idx[static_cast<std::size_t>(r)];
+    auto& buf = outgoing[static_cast<std::size_t>(r)];
+    buf.reserve(idx.size());
+    for (const auto i : idx) buf.push_back(particles.at(i));
+  }
+  const auto incoming = torus ? torus->alltoallv3d(outgoing) : comm.alltoallv(outgoing);
+  std::vector<Particle> result;
+  result.reserve(cache.ghosts.size());
+  for (int r = 0; r < p; ++r) {
+    if (r == comm.rank()) continue;
+    const auto& v = incoming[static_cast<std::size_t>(r)];
+    if (v.size() != cache.import_counts[static_cast<std::size_t>(r)]) {
+      throw std::runtime_error("refreshGhostValues: import layout changed");
+    }
     result.insert(result.end(), v.begin(), v.end());
   }
   return result;

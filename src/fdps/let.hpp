@@ -30,12 +30,58 @@ std::vector<SourceEntry> exchangeGravityLet(comm::Comm& comm,
                                             const SourceTree& local_tree, double theta,
                                             comm::TorusTopology* torus = nullptr);
 
-/// Exchange SPH ghost particles. `gas` is the local gas population,
-/// `local_max_h` this rank's maximum gather support radius. Returns ghost
-/// particles from remote ranks whose kernels may interact with ours.
+/// Exchange SPH ghost particles. `particles` is the local population (gas
+/// filtered internally), `local_max_h` this rank's maximum gather support
+/// radius. Returns ghost particles from remote ranks whose kernels may
+/// interact with ours.
+///
+/// NOTE (stale-reach): the reach used here is the one collected *before*
+/// the density solve runs — if the solve then grows some h, the ghost set
+/// silently under-covers the new supports. Step drivers should use
+/// exchangeHydroGhostsCached with a growth margin and re-exchange when the
+/// post-solve gather radius escapes GhostExchange::exported_reach.
 std::vector<Particle> exchangeHydroGhosts(comm::Comm& comm, const DomainDecomposer& dd,
                                           const std::vector<Particle>& particles,
                                           double local_max_h,
                                           comm::TorusTopology* torus = nullptr);
+
+/// Result of a cacheable ghost exchange.
+struct GhostExchange {
+  std::vector<Particle> ghosts;  ///< imported, concatenated in source-rank order
+  /// Local particle indices shipped to each destination rank, remembered so
+  /// refreshGhostValues can re-send current payloads without re-running the
+  /// O(N * P) selection scan or the reach allgather.
+  std::vector<std::vector<std::uint32_t>> export_idx;
+  /// Per-source import counts (parallel to ranks), fixing the concatenation
+  /// layout a value refresh must reproduce.
+  std::vector<std::size_t> import_counts;
+  /// The margin-inflated local gather radius this exchange covered. The
+  /// stale-reach validity rule: the ghost set stays sufficient while
+  /// maxGatherRadius(locals) <= exported_reach on every rank (checked
+  /// collectively after each density solve).
+  double exported_reach = 0.0;
+};
+
+/// Cacheable ghost exchange with the stale-reach fix: every reach — the
+/// scatter reach of each exported particle and the gather reach of each
+/// remote rank — is inflated by `h_margin` (the density solver's growth
+/// allowance, >= 1) and widened by `skin` (the drift budget both sides may
+/// consume before re-exchange). `local_max_h` is this rank's maximum gather
+/// support at export time.
+GhostExchange exchangeHydroGhostsCached(comm::Comm& comm, const DomainDecomposer& dd,
+                                        const std::vector<Particle>& particles,
+                                        std::size_t n_local, double local_max_h,
+                                        double h_margin, double skin,
+                                        comm::TorusTopology* torus = nullptr);
+
+/// Re-ship current payloads for a previously established ghost list: every
+/// rank re-sends particles[idx] for its remembered export_idx lists and
+/// overwrites nothing structurally — the returned vector has exactly
+/// `import_counts` entries per source in the same order as the original
+/// exchange. No selection walk, no allgather; the cheap per-pass freshness
+/// path between full exchanges.
+std::vector<Particle> refreshGhostValues(comm::Comm& comm, const GhostExchange& cache,
+                                         const std::vector<Particle>& particles,
+                                         comm::TorusTopology* torus = nullptr);
 
 }  // namespace asura::fdps

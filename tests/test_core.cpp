@@ -74,6 +74,20 @@ TEST(Pool, ManyConcurrentJobsAllComeBack) {
   EXPECT_EQ(pool.pendingJobs(), 0);
 }
 
+TEST(Pool, ZeroPoolNodesStillDrainsJobs) {
+  // Regression: constructed with n_pool_nodes == 0 the scheduler used to
+  // spawn no workers at all, so a submitted job sat in the queue forever
+  // and collectDue — which waits for every due job to leave the queue —
+  // deadlocked on the first SN. The pool now clamps to >= 1 worker.
+  PoolNodeScheduler pool(std::make_shared<asura::core::NullBackend>(), 0, 3);
+  EXPECT_GE(pool.poolNodes(), 1);
+  auto region = gasBall(8, 5.0, 1.0, 21);
+  pool.submit(/*step=*/0, region, {0, 0, 0}, asura::units::E_SN, 0.1);
+  const auto due = pool.collectDue(3);  // pre-fix: hangs here forever
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].size(), region.size());
+}
+
 TEST(Pool, PredictionRunsWhileCallerWorks) {
   // The overlap property: submit, do "integration" work, and observe the
   // backend completed in the background before collect time.
@@ -115,6 +129,68 @@ TEST(Backends, MassConservationContract) {
   EXPECT_DOUBLE_EQ(m_in, m_out2);
 }
 
+TEST(Backends, UNetPredictionsAreJobDeterministic) {
+  // Regression for the shared-rng race: predict() used to advance one
+  // member Pcg32, so (a) a job's output depended on how many jobs ran
+  // before it, and (b) concurrent pool workers mutated the generator
+  // unlocked. Sampling now derives a per-job stream from the region ids
+  // and SN position: repeating a job must reproduce it bitwise.
+  asura::ml::UNetConfig ucfg;
+  ucfg.base_width = 2;
+  asura::voxel::VoxelParams vp;
+  vp.grid_n = 16;
+  asura::core::UNetSurrogateBackend unet(ucfg, vp);
+
+  const auto region_a = gasBall(120, 20.0, 1.0, 31);
+  const auto region_b = gasBall(150, 20.0, 2.0, 32);
+  const auto first = unet.predict(region_a, {0, 0, 0}, asura::units::E_SN, 0.1);
+  (void)unet.predict(region_b, {1, 2, 3}, asura::units::E_SN, 0.1);
+  const auto again = unet.predict(region_a, {0, 0, 0}, asura::units::E_SN, 0.1);
+  ASSERT_EQ(first.size(), again.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].pos.x, again[i].pos.x);  // bitwise, not approximate
+    EXPECT_EQ(first[i].u, again[i].u);
+    EXPECT_EQ(first[i].vel.x, again[i].vel.x);
+  }
+}
+
+TEST(Backends, UNetConcurrentPredictionsMatchSerial) {
+  // ThreadSanitizer-friendly concurrency regression: many workers predict
+  // on the one shared backend at once (exactly what PoolNodeScheduler does
+  // with n_pool_nodes > 1). Under TSan the pre-fix shared Pcg32 reports a
+  // data race; without TSan the scheduling-dependent sampling still breaks
+  // the bitwise match against the serial reference.
+  asura::ml::UNetConfig ucfg;
+  ucfg.base_width = 2;
+  asura::voxel::VoxelParams vp;
+  vp.grid_n = 16;
+  asura::core::UNetSurrogateBackend unet(ucfg, vp);
+
+  constexpr int kJobs = 6;
+  std::vector<std::vector<asura::fdps::Particle>> regions, serial(kJobs),
+      concurrent(kJobs);
+  for (int j = 0; j < kJobs; ++j) {
+    regions.push_back(gasBall(80 + 10 * j, 20.0, 1.0, 100 + j));
+  }
+  for (int j = 0; j < kJobs; ++j) {
+    serial[j] = unet.predict(regions[j], {0, 0, 0}, asura::units::E_SN, 0.1);
+  }
+  std::vector<std::thread> workers;
+  for (int j = 0; j < kJobs; ++j) {
+    workers.emplace_back([&, j] {
+      concurrent[j] = unet.predict(regions[j], {0, 0, 0}, asura::units::E_SN, 0.1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int j = 0; j < kJobs; ++j) {
+    ASSERT_EQ(serial[j].size(), concurrent[j].size());
+    for (std::size_t i = 0; i < serial[j].size(); ++i) {
+      EXPECT_EQ(serial[j][i].pos.x, concurrent[j][i].pos.x) << "job " << j;
+      EXPECT_EQ(serial[j][i].u, concurrent[j][i].u) << "job " << j;
+    }
+  }
+}
+
 TEST(Backends, UNetPipelineKeepsParticlesInBox) {
   auto region = gasBall(200, 25.0, 1.0, 6);
   asura::ml::UNetConfig ucfg;
@@ -154,9 +230,40 @@ TEST(Simulation, AdiabaticBallConservesEnergyOverSteps) {
   const auto e0 = sim.energyReport();
   for (int s = 0; s < 10; ++s) sim.step();
   const auto e1 = sim.energyReport();
+  // EnergyReport::potential now carries the 1/2 pair factor itself, so the
+  // scale uses it directly (the seed's doubled value needed the extra 0.5).
   const double scale = std::abs(e0.kinetic) + std::abs(e0.thermal) +
-                       0.5 * std::abs(e0.potential);
+                       std::abs(e0.potential);
   EXPECT_LT(std::abs(e1.total() - e0.total()) / scale, 0.05);
+}
+
+TEST(Simulation, PotentialEnergyCountsEachPairOnce) {
+  // Regression for the doubled potential: sum(m_i * pot_i) visits every
+  // pair from both sides, so EnergyReport::potential must carry the 1/2.
+  // Two collisionless bodies make the pair sum exact in closed form.
+  std::vector<Particle> two;
+  for (int i = 0; i < 2; ++i) {
+    Particle p;
+    p.id = static_cast<std::uint64_t>(i) + 1;
+    p.type = Species::DarkMatter;
+    p.mass = 2.0 + i;
+    p.pos = {static_cast<double>(10 * i), 0.0, 0.0};
+    p.eps = 0.5;
+    two.push_back(p);
+  }
+  SimulationConfig cfg = quietConfig();
+  cfg.dt_global = 1e-9;  // forces populate, positions essentially frozen
+  cfg.gravity.kernel = asura::gravity::GravityParams::Kernel::ScalarF64;
+  Simulation sim(two, cfg);
+  sim.step();
+  const auto& a = sim.particles()[0];
+  const auto& b = sim.particles()[1];
+  const double r2 = (a.pos - b.pos).norm2();
+  const double expected = -cfg.gravity.G * a.mass * b.mass /
+                          std::sqrt(r2 + a.eps * a.eps + b.eps * b.eps);
+  const auto e = sim.energyReport();
+  EXPECT_NEAR(e.potential, expected, 1e-9 * std::abs(expected));
+  EXPECT_NEAR(e.total(), e.kinetic + e.thermal + e.potential, 0.0);
 }
 
 TEST(Simulation, MomentumConserved) {
