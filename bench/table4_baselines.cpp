@@ -1,0 +1,44 @@
+#include "table4_baselines.hpp"
+
+#include <cmath>
+
+namespace asura::bench {
+
+using util::Vec3d;
+
+void gravHandwrittenBaseline(const Vec3d* target_pos, const double* target_eps,
+                             int n_targets, const Vec3d& centre, const float* sx,
+                             const float* sy, const float* sz, const float* sm,
+                             const float* se2, std::size_t ns, double G, Vec3d* acc_out,
+                             double* pot_out) {
+  for (int i = 0; i < n_targets; ++i) {
+    const Vec3d rel = target_pos[i] - centre;
+    const float pix = static_cast<float>(rel.x);
+    const float piy = static_cast<float>(rel.y);
+    const float piz = static_cast<float>(rel.z);
+    const float e2i = static_cast<float>(target_eps[i] * target_eps[i]);
+    // Accumulate in float (the hot loop), reduce into double at the end.
+    float ax = 0.0f, ay = 0.0f, az = 0.0f, phi = 0.0f;
+#pragma omp simd reduction(+ : ax, ay, az, phi)
+    for (std::size_t j = 0; j < ns; ++j) {
+      const float dx = pix - sx[j];
+      const float dy = piy - sy[j];
+      const float dz = piz - sz[j];
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      const float mj = r2 > 0.0f ? sm[j] : 0.0f;
+      const float denom = r2 > 0.0f ? r2 + e2i + se2[j] : 1.0f;
+      const float rinv = 1.0f / std::sqrt(denom);
+      const float mr = mj * rinv;
+      const float mr3 = mr * rinv * rinv;
+      ax -= mr3 * dx;
+      ay -= mr3 * dy;
+      az -= mr3 * dz;
+      phi -= mr;
+    }
+    acc_out[i] += G * Vec3d{static_cast<double>(ax), static_cast<double>(ay),
+                            static_cast<double>(az)};
+    pot_out[i] += G * static_cast<double>(phi);
+  }
+}
+
+}  // namespace asura::bench

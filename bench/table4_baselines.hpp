@@ -1,0 +1,26 @@
+#pragma once
+/// \file table4_baselines.hpp
+/// \brief Pre-refactor hand-written gravity baseline for bench_table4_kernels.
+///
+/// The deleted production kernel gravity::evalGroupSoaMixedF32 lived in its
+/// own translation unit compiled with `-ffast-math -mrecip=all`; this copy
+/// keeps that arrangement (see CMakeLists.txt) so the benchmark baseline is
+/// exactly what the PIKG-generated backends replaced. The SPH baselines stay
+/// in the (strict-math) bench TU, matching the flags their production
+/// originals had in sph.cpp.
+
+#include <cstddef>
+
+#include "util/vec3.hpp"
+
+namespace asura::bench {
+
+/// Autovectorized `#pragma omp simd` mixed-F32 group kernel (verbatim copy
+/// of the deleted gravity::evalGroupSoaMixedF32).
+void gravHandwrittenBaseline(const util::Vec3d* target_pos, const double* target_eps,
+                             int n_targets, const util::Vec3d& centre, const float* sx,
+                             const float* sy, const float* sz, const float* sm,
+                             const float* se2, std::size_t ns, double G,
+                             util::Vec3d* acc_out, double* pot_out);
+
+}  // namespace asura::bench

@@ -46,6 +46,26 @@ DistributedEngine::DistributedEngine(comm::Comm& comm, DistributedConfig cfg)
 
 int DistributedEngine::reduceMaxInt(int v) { return comm_.allreduce(v, Op::Max); }
 
+void DistributedEngine::allreduceSum(double* vals, int n) {
+  if (n <= 0) return;
+  const std::vector<double> local(vals, vals + n);
+  // allgather + rank-ordered summation: every rank computes the same sum of
+  // the same addends in the same order, so the result is bitwise identical
+  // across ranks and across repeated calls (a scalar allreduce per element
+  // would give the same bits, at n collectives instead of one).
+  const auto parts = comm_.allgatherv(local);
+  for (int k = 0; k < n; ++k) vals[k] = 0.0;
+  for (const auto& p : parts) {
+    if (static_cast<int>(p.size()) != n) {
+      // A mismatched contribution means the collective was entered with
+      // diverging n across ranks — a silent partial sum would break the
+      // bitwise rank-invariance contract undetectably.
+      throw std::runtime_error("allreduceSum: rank contribution size mismatch");
+    }
+    for (int k = 0; k < n; ++k) vals[k] += p[k];
+  }
+}
+
 void DistributedEngine::exchangeParticles(std::vector<Particle>& parts,
                                           fdps::StepContext& ctx, util::Pcg32& rng,
                                           long step) {

@@ -178,6 +178,12 @@ class DistributedEngine {
   /// deadlock on diverging iteration counts).
   [[nodiscard]] int reduceMaxInt(int v);
 
+  /// Collective sum-reduction of `n` doubles in place, the energy/momentum
+  /// tally primitive for drivers (Simulation::globalEnergyReport and
+  /// friends). Deterministic and identical on every rank: contributions are
+  /// summed in rank order, not arrival order.
+  void allreduceSum(double* vals, int n);
+
   // --- SN routing (all collective) -----------------------------------------
 
   /// Gather every rank's SN events; returns the global list sorted by

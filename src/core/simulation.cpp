@@ -5,6 +5,7 @@
 
 #include "core/distributed.hpp"
 #include "fdps/box.hpp"
+#include "kernels/registry.hpp"
 #include "util/units.hpp"
 
 namespace asura::core {
@@ -33,6 +34,18 @@ void Simulation::attachDistributed(std::unique_ptr<DistributedEngine> engine) {
   dist_ = std::move(engine);
 }
 
+gravity::GravityParams Simulation::gravityParams() const {
+  gravity::GravityParams p = cfg_.gravity;
+  if (p.isa == pikg::Isa::Auto) p.isa = cfg_.kernel_isa;
+  return p;
+}
+
+sph::SphParams Simulation::sphParams() const {
+  sph::SphParams p = cfg_.sph;
+  if (p.isa == pikg::Isa::Auto) p.isa = cfg_.kernel_isa;
+  return p;
+}
+
 StepStats Simulation::step() {
   // Full reset of the persistent lastStats() member: a run that alternates
   // hierarchical on/off must never see the previous mode's rung histogram,
@@ -40,6 +53,14 @@ StepStats Simulation::step() {
   stats_ = StepStats{};
   StepStats& stats = stats_;
   step_ctx_.beginStep();
+
+  // Record the run-level kernel-ISA resolution. The per-pass params handed
+  // to the force passes are resolved on the fly by gravityParams() /
+  // sphParams() — an explicitly pinned GravityParams::isa / SphParams::isa
+  // wins over kernel_isa, and the user's config is never mutated, so
+  // toggling kernel_isa between steps can never stick. A per-pass pin that
+  // diverges from kernel_isa shows in its own params, not here.
+  stats.kernel_isa = pikg::resolveIsa(cfg_.kernel_isa);
 
   // (0) Distributed phase 0: the previous step's ghost suffix detaches,
   // domains recut when due, and every local ships to its owner. Runs before
@@ -679,9 +700,9 @@ sph::DensityStats Simulation::solveDensityWithReachRetries(
     }
   };
   const auto solve = [&]() -> sph::DensityStats {
-    if (full_set) return sph::solveDensity(step_ctx_, parts_, n_local_, cfg_.sph);
+    if (full_set) return sph::solveDensity(step_ctx_, parts_, n_local_, sphParams());
     if (active_gas.empty()) return {};
-    return sph::solveDensity(step_ctx_, parts_, n_local_, cfg_.sph, active_gas);
+    return sph::solveDensity(step_ctx_, parts_, n_local_, sphParams(), active_gas);
   };
 
   snapshot_h();
@@ -752,13 +773,13 @@ void Simulation::computeForcesActive(StepStats& stats,
     const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
                            : std::span<const fdps::SourceEntry>{};
     const auto gs = gravity::accumulateTreeGravity(step_ctx_, localSpan(), let,
-                                                   cfg_.gravity, active);
+                                                   gravityParams(), active);
     timers_.add("Tree_Build", gs.t_build);
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
     accumulate(stats.gravity_stats, gs);
     const auto fs = sph::accumulateHydroForce(
-        step_ctx_, parts_, n_local_, cfg_.sph, active_gas,
+        step_ctx_, parts_, n_local_, sphParams(), active_gas,
         cfg_.timestep_limiter ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
@@ -826,7 +847,7 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
                            : std::span<const fdps::SourceEntry>{};
     const auto gs =
-        gravity::accumulateTreeGravity(step_ctx_, localSpan(), let, cfg_.gravity);
+        gravity::accumulateTreeGravity(step_ctx_, localSpan(), let, gravityParams());
     timers_.add("Tree_Build", gs.t_build);
     timers_.add("Tree_Walk (cpu)", gs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", gs.t_kernel);
@@ -836,7 +857,7 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     const bool collect_wakes = cfg_.hierarchical_timestep &&
                                cfg_.timestep_limiter && !first_pass;
     const auto fs =
-        sph::accumulateHydroForce(step_ctx_, parts_, n_local_, cfg_.sph,
+        sph::accumulateHydroForce(step_ctx_, parts_, n_local_, sphParams(),
                                   collect_wakes ? &wake_requests_ : nullptr);
     timers_.add("Tree_Build", fs.t_build);
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
@@ -996,6 +1017,38 @@ Vec3d Simulation::totalMomentum() const {
 Vec3d Simulation::totalAngularMomentum() const {
   Vec3d l{};
   for (const auto& p : localSpan()) l += p.mass * p.pos.cross(p.vel);
+  return l;
+}
+
+EnergyReport Simulation::globalEnergyReport() {
+  EnergyReport e = energyReport();
+  if (dist_) {
+    double v[3] = {e.kinetic, e.thermal, e.potential};
+    dist_->allreduceSum(v, 3);
+    e.kinetic = v[0];
+    e.thermal = v[1];
+    e.potential = v[2];
+  }
+  return e;
+}
+
+Vec3d Simulation::globalMomentum() {
+  Vec3d m = totalMomentum();
+  if (dist_) {
+    double v[3] = {m.x, m.y, m.z};
+    dist_->allreduceSum(v, 3);
+    m = Vec3d{v[0], v[1], v[2]};
+  }
+  return m;
+}
+
+Vec3d Simulation::globalAngularMomentum() {
+  Vec3d l = totalAngularMomentum();
+  if (dist_) {
+    double v[3] = {l.x, l.y, l.z};
+    dist_->allreduceSum(v, 3);
+    l = Vec3d{v[0], v[1], v[2]};
+  }
   return l;
 }
 

@@ -114,6 +114,7 @@
 #include "fdps/context.hpp"
 #include "fdps/particle.hpp"
 #include "gravity/gravity.hpp"
+#include "pikg/isa.hpp"
 #include "sph/sph.hpp"
 #include "stellar/stellar.hpp"
 #include "util/histogram.hpp"
@@ -166,6 +167,16 @@ struct SimulationConfig {
   long return_interval = 50;      ///< steps until predictions come back
   int n_pool_nodes = 4;           ///< worker threads (paper: <50 nodes)
 
+  // --- kernel backend ---
+  /// PIKG-generated kernel backend for every force pass (gravity MixedF32,
+  /// SPH density and hydro force). Auto resolves to the widest ISA the host
+  /// CPU and the build both support (kernels/registry.hpp); pinning Scalar /
+  /// Avx2 / Avx512 overrides the cpuid dispatch (conformance tests,
+  /// benchmarks). Propagated into gravity.isa / sph.isa at step entry —
+  /// a per-pass field the caller pinned explicitly (non-Auto) wins over
+  /// this run-level knob.
+  pikg::Isa kernel_isa = pikg::Isa::Auto;
+
   // --- physics ---
   gravity::GravityParams gravity{};
   sph::SphParams sph{};
@@ -185,6 +196,11 @@ struct StepStats {
   int particles_replaced = 0;
   int stars_formed = 0;
   double dt_used = 0.0;
+  /// Run-level PIKG backend resolution for this step (kernel_isa after
+  /// cpuid clamping; never Auto). A per-pass GravityParams::isa /
+  /// SphParams::isa pin that diverges from kernel_isa is reflected in its
+  /// own params, not here.
+  pikg::Isa kernel_isa = pikg::Isa::Scalar;
   int tree_builds = 0;    ///< trees (re)built this step (seed: 6; pipeline: <=3 quiet)
   int tree_refreshes = 0; ///< O(N) smoothing/position refreshes standing in for rebuilds
   // --- hierarchical block timesteps ---
@@ -279,9 +295,20 @@ class Simulation {
   [[nodiscard]] PoolNodeScheduler* pool() { return pool_ ? pool_.get() : nullptr; }
 
   /// Energy/momentum bookkeeping (potential from the last force pass).
+  /// Local-owned particles only — on a distributed rank this is the rank's
+  /// share; use the global* variants for the whole system.
   [[nodiscard]] EnergyReport energyReport() const;
   [[nodiscard]] util::Vec3d totalMomentum() const;
   [[nodiscard]] util::Vec3d totalAngularMomentum() const;
+
+  /// Whole-system energy/momentum. Serial: identical to the local variants.
+  /// With a DistributedEngine attached these are *collective* (every rank
+  /// must call in the same order) and return the deterministic rank-ordered
+  /// sum on every rank — drivers and tests no longer gather particle arrays
+  /// host-side to total them.
+  [[nodiscard]] EnergyReport globalEnergyReport();
+  [[nodiscard]] util::Vec3d globalMomentum();
+  [[nodiscard]] util::Vec3d globalAngularMomentum();
 
   /// Density-temperature phase PDFs (paper §3.3 validation metrics).
   [[nodiscard]] util::Histogram densityPdf(int bins = 40) const;
@@ -294,6 +321,11 @@ class Simulation {
                                                      double half_extent) const;
 
  private:
+  /// Per-pass parameter sets with the effective PIKG backend resolved: an
+  /// explicitly pinned params.isa (non-Auto) wins, otherwise the run-level
+  /// cfg_.kernel_isa applies. Pure — the user's config is never mutated.
+  [[nodiscard]] gravity::GravityParams gravityParams() const;
+  [[nodiscard]] sph::SphParams sphParams() const;
   void computeForces(StepStats& stats, bool first_pass);
   /// Block-timestep integration of one global step (replaces the global
   /// kick-drift-kick + first force pass + final kick).

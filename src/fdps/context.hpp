@@ -119,6 +119,20 @@ struct ThreadArena {
   // Target-side staging.
   std::vector<util::Vec3d> tpos, tacc;
   std::vector<double> teps, tpot;
+
+  // Target-side staging for the PIKG mixed-F32 gravity kernel: group-centre-
+  // relative positions in single precision, accumulator outputs in double
+  // (the §4.3 mixed-precision reduction).
+  std::vector<float> tx, ty, tz, te2;
+  std::vector<double> tax, tay, taz, tpt;
+
+  // Per-candidate derived quantities of the hydro-force pass, staged once
+  // per group (pure j-functions: 1/H, H/2, 1/H^4, P/rho^2, Balsara factor).
+  std::vector<double> qhinv, qhh, qh4, qp2, qbal;
+  // Per-target packed neighbour lists (the compacted `sel` gathered into
+  // contiguous SoA) handed to the PIKG SPH kernels.
+  std::vector<double> kx, ky, kz, km, kvx, kvy, kvz, khf, khh, khi, kh4, kp2,
+      krho, kcs, kbal;
 };
 
 class StepContext {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/registry.hpp"
 #include "util/omp.hpp"
 #include "util/timer.hpp"
 #include "util/vec3.hpp"
@@ -9,7 +10,6 @@
 namespace asura::gravity {
 
 using util::ompThreadId;
-using util::Vec3f;
 
 void accumulateDirect(std::span<Particle> targets, std::span<const SourceEntry> sources,
                       double G) {
@@ -29,72 +29,6 @@ void accumulateDirect(std::span<Particle> targets, std::span<const SourceEntry> 
     t.acc += acc;
     t.pot += pot;
   }
-}
-
-void evalGroupScalarF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
-                        std::span<const SourceEntry> ep, std::span<const Monopole> sp,
-                        double G, Vec3d* acc_out, double* pot_out) {
-  for (int i = 0; i < n_targets; ++i) {
-    const Vec3d pi = target_pos[i];
-    const double eps2_i = target_eps[i] * target_eps[i];
-    Vec3d acc{};
-    double pot = 0.0;
-    for (const auto& s : ep) {
-      const Vec3d dr = pi - s.pos;
-      const double r2 = dr.norm2();
-      if (r2 == 0.0) continue;
-      const double rinv = 1.0 / std::sqrt(r2 + eps2_i + s.eps * s.eps);
-      const double mr3 = s.mass * rinv * rinv * rinv;
-      acc -= mr3 * dr;
-      pot -= s.mass * rinv;
-    }
-    for (const auto& s : sp) {
-      const Vec3d dr = pi - s.com;
-      const double r2 = dr.norm2();
-      if (r2 == 0.0) continue;
-      const double rinv = 1.0 / std::sqrt(r2 + eps2_i + s.eps * s.eps);
-      const double mr3 = s.mass * rinv * rinv * rinv;
-      acc -= mr3 * dr;
-      pot -= s.mass * rinv;
-    }
-    acc_out[i] += G * acc;
-    pot_out[i] += G * pot;
-  }
-}
-
-void evalGroupMixedF32(const Vec3d* target_pos, const double* target_eps, int n_targets,
-                       std::span<const SourceEntry> ep, std::span<const Monopole> sp,
-                       double G, Vec3d* acc_out, double* pot_out) {
-  if (n_targets == 0) return;
-  // Representative point of the receiving group (double precision).
-  Vec3d centre{};
-  for (int i = 0; i < n_targets; ++i) centre += target_pos[i];
-  centre /= static_cast<double>(n_targets);
-
-  // Stage sources relative to the centre, in single-precision SoA.
-  thread_local std::vector<float> sx, sy, sz, sm, se2;
-  sx.clear(); sy.clear(); sz.clear(); sm.clear(); se2.clear();
-  const std::size_t ns = ep.size() + sp.size();
-  sx.reserve(ns); sy.reserve(ns); sz.reserve(ns); sm.reserve(ns); se2.reserve(ns);
-  for (const auto& s : ep) {
-    const Vec3d rel = s.pos - centre;
-    sx.push_back(static_cast<float>(rel.x));
-    sy.push_back(static_cast<float>(rel.y));
-    sz.push_back(static_cast<float>(rel.z));
-    sm.push_back(static_cast<float>(s.mass));
-    se2.push_back(static_cast<float>(s.eps * s.eps));
-  }
-  for (const auto& s : sp) {
-    const Vec3d rel = s.com - centre;
-    sx.push_back(static_cast<float>(rel.x));
-    sy.push_back(static_cast<float>(rel.y));
-    sz.push_back(static_cast<float>(rel.z));
-    sm.push_back(static_cast<float>(s.mass));
-    se2.push_back(static_cast<float>(s.eps * s.eps));
-  }
-
-  evalGroupSoaMixedF32(target_pos, target_eps, n_targets, centre, sx.data(), sy.data(),
-                       sz.data(), sm.data(), se2.data(), ns, G, acc_out, pot_out);
 }
 
 void evalGroupSoaF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
@@ -144,6 +78,9 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
                        std::span<Particle> particles, const GravityParams& params,
                        GravityStats& stats) {
   const auto& entries = tree.entries();
+  // MixedF32 inner loop: PIKG-generated kernel for the requested ISA
+  // (resolved once per pass; all threads run the same backend).
+  const pikg::KernelSet& kset = pikg::kernels(params.isa);
   std::uint64_t ep_total = 0, sp_total = 0, targets_total = 0;
   double walk_s = 0.0, kernel_s = 0.0;
 
@@ -162,22 +99,18 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
 
       const double tk = util::wtime();
       const auto nt = static_cast<int>(grp.indices.size());
-      a.tpos.resize(static_cast<std::size_t>(nt));
-      a.teps.resize(static_cast<std::size_t>(nt));
-      a.tacc.assign(static_cast<std::size_t>(nt), Vec3d{});
-      a.tpot.assign(static_cast<std::size_t>(nt), 0.0);
-      Vec3d centre{};
-      for (int i = 0; i < nt; ++i) {
-        const Particle& p = particles[grp.indices[static_cast<std::size_t>(i)]];
-        a.tpos[static_cast<std::size_t>(i)] = p.pos;
-        a.teps[static_cast<std::size_t>(i)] = p.eps;
-        centre += p.pos;
-      }
-      centre /= static_cast<double>(nt);
-
       const std::size_t ns = a.idx.size() + a.sp.size();
       if (params.kernel == GravityParams::Kernel::ScalarF64) {
-        // Absolute double-precision SoA staging.
+        // Absolute double-precision SoA staging (hand-written reference).
+        a.tpos.resize(static_cast<std::size_t>(nt));
+        a.teps.resize(static_cast<std::size_t>(nt));
+        a.tacc.assign(static_cast<std::size_t>(nt), Vec3d{});
+        a.tpot.assign(static_cast<std::size_t>(nt), 0.0);
+        for (int i = 0; i < nt; ++i) {
+          const Particle& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+          a.tpos[static_cast<std::size_t>(i)] = p.pos;
+          a.teps[static_cast<std::size_t>(i)] = p.eps;
+        }
         a.sx.resize(ns); a.sy.resize(ns); a.sz.resize(ns);
         a.sm.resize(ns); a.se2.resize(ns);
         std::size_t k = 0;
@@ -195,8 +128,35 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
         evalGroupSoaF64(a.tpos.data(), a.teps.data(), nt, a.sx.data(), a.sy.data(),
                         a.sz.data(), a.sm.data(), a.se2.data(), ns, params.G,
                         a.tacc.data(), a.tpot.data());
+        for (int i = 0; i < nt; ++i) {
+          auto& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+          p.acc += a.tacc[static_cast<std::size_t>(i)];
+          p.pot += a.tpot[static_cast<std::size_t>(i)];
+        }
       } else {
-        // Centre-relative single-precision SoA staging (mixed scheme, §4.3).
+        // Mixed scheme (§4.3): both ends staged relative to the group centre
+        // in single precision, PIKG-generated kernel, f64 accumulators.
+        Vec3d centre{};
+        for (int i = 0; i < nt; ++i) {
+          centre += particles[grp.indices[static_cast<std::size_t>(i)]].pos;
+        }
+        centre /= static_cast<double>(nt);
+        a.tx.resize(static_cast<std::size_t>(nt));
+        a.ty.resize(static_cast<std::size_t>(nt));
+        a.tz.resize(static_cast<std::size_t>(nt));
+        a.te2.resize(static_cast<std::size_t>(nt));
+        a.tax.assign(static_cast<std::size_t>(nt), 0.0);
+        a.tay.assign(static_cast<std::size_t>(nt), 0.0);
+        a.taz.assign(static_cast<std::size_t>(nt), 0.0);
+        a.tpt.assign(static_cast<std::size_t>(nt), 0.0);
+        for (int i = 0; i < nt; ++i) {
+          const Particle& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+          const Vec3d rel = p.pos - centre;
+          a.tx[static_cast<std::size_t>(i)] = static_cast<float>(rel.x);
+          a.ty[static_cast<std::size_t>(i)] = static_cast<float>(rel.y);
+          a.tz[static_cast<std::size_t>(i)] = static_cast<float>(rel.z);
+          a.te2[static_cast<std::size_t>(i)] = static_cast<float>(p.eps * p.eps);
+        }
         a.fx.resize(ns); a.fy.resize(ns); a.fz.resize(ns);
         a.fm.resize(ns); a.fe2.resize(ns);
         std::size_t k = 0;
@@ -219,15 +179,17 @@ void gravityOverGroups(fdps::StepContext& ctx, const fdps::SourceTree& tree,
           a.fe2[k] = static_cast<float>(s.eps * s.eps);
           ++k;
         }
-        evalGroupSoaMixedF32(a.tpos.data(), a.teps.data(), nt, centre, a.fx.data(),
-                             a.fy.data(), a.fz.data(), a.fm.data(), a.fe2.data(), ns,
-                             params.G, a.tacc.data(), a.tpot.data());
-      }
-
-      for (int i = 0; i < nt; ++i) {
-        auto& p = particles[grp.indices[static_cast<std::size_t>(i)]];
-        p.acc += a.tacc[static_cast<std::size_t>(i)];
-        p.pot += a.tpot[static_cast<std::size_t>(i)];
+        kset.grav(nt, a.tx.data(), a.ty.data(), a.tz.data(), a.te2.data(),
+                  static_cast<int>(ns), a.fx.data(), a.fy.data(), a.fz.data(),
+                  a.fm.data(), a.fe2.data(), a.tax.data(), a.tay.data(), a.taz.data(),
+                  a.tpt.data());
+        for (int i = 0; i < nt; ++i) {
+          auto& p = particles[grp.indices[static_cast<std::size_t>(i)]];
+          p.acc += params.G * Vec3d{a.tax[static_cast<std::size_t>(i)],
+                                    a.tay[static_cast<std::size_t>(i)],
+                                    a.taz[static_cast<std::size_t>(i)]};
+          p.pot += params.G * a.tpt[static_cast<std::size_t>(i)];
+        }
       }
       ep_total += static_cast<std::uint64_t>(nt) * a.idx.size();
       sp_total += static_cast<std::uint64_t>(nt) * a.sp.size();

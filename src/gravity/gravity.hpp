@@ -9,8 +9,11 @@
 /// relative to the representative value of the particles that receive the
 /// force and then converted to single precision" — implemented by
 /// Kernel::MixedF32, which subtracts the target-group centre in double and
-/// accumulates the interaction in float. Kernel::ScalarF64 is the
-/// double-precision reference.
+/// accumulates the interaction in float. The MixedF32 inner loop is a
+/// PIKG-generated kernel selected by runtime ISA dispatch
+/// (kernels/registry.hpp; override with GravityParams::isa).
+/// Kernel::ScalarF64 is the hand-written double-precision conformance
+/// reference and bypasses the generated backends.
 ///
 /// FLOP accounting matches Table 4: 27 operations per gravity interaction.
 
@@ -21,6 +24,7 @@
 #include "fdps/context.hpp"
 #include "fdps/particle.hpp"
 #include "fdps/tree.hpp"
+#include "pikg/isa.hpp"
 #include "util/units.hpp"
 
 namespace asura::gravity {
@@ -36,6 +40,9 @@ struct GravityParams {
   int group_size = 64;   ///< n_g: targets sharing an interaction list
   int leaf_size = 16;
   enum class Kernel { ScalarF64, MixedF32 } kernel = Kernel::MixedF32;
+  /// Generated-kernel backend for the MixedF32 path (Auto = widest the host
+  /// supports; requests wider than the host clamp down).
+  pikg::Isa isa = pikg::Isa::Auto;
 };
 
 struct GravityStats {
@@ -85,27 +92,11 @@ GravityStats accumulateTreeGravity(fdps::StepContext& ctx, std::span<Particle> p
                                    const GravityParams& params,
                                    std::span<const std::uint32_t> active);
 
-/// Single-group kernel (exposed for microbenchmarks / PIKG comparison):
-/// computes acc/pot of `n_targets` positions against EP + SP lists.
-void evalGroupScalarF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
-                        std::span<const SourceEntry> ep, std::span<const Monopole> sp,
-                        double G, Vec3d* acc_out, double* pot_out);
-
-void evalGroupMixedF32(const Vec3d* target_pos, const double* target_eps, int n_targets,
-                       std::span<const SourceEntry> ep, std::span<const Monopole> sp,
-                       double G, Vec3d* acc_out, double* pot_out);
-
-/// SoA kernels over pre-staged source arrays (x/y/z/m/eps² — no per-group
-/// vector-of-struct churn); written as `#pragma omp simd` wide loops with a
-/// branch-free self-pair mask. The F32 variant expects sources staged
-/// *relative to `centre`* (mixed-precision scheme); the F64 variant takes
-/// absolute positions.
-void evalGroupSoaMixedF32(const Vec3d* target_pos, const double* target_eps,
-                          int n_targets, const Vec3d& centre, const float* sx,
-                          const float* sy, const float* sz, const float* sm,
-                          const float* se2, std::size_t ns, double G, Vec3d* acc_out,
-                          double* pot_out);
-
+/// Hand-written double-precision SoA conformance kernel (absolute
+/// positions, `#pragma omp simd` wide loop, branch-free self-pair mask).
+/// This is the reference the PIKG-generated MixedF32 backends are measured
+/// against; the generated kernels themselves live in the build-time
+/// pikg_kernels.hpp and are reached through kernels/registry.hpp.
 void evalGroupSoaF64(const Vec3d* target_pos, const double* target_eps, int n_targets,
                      const double* sx, const double* sy, const double* sz,
                      const double* sm, const double* se2, std::size_t ns, double G,

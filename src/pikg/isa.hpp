@@ -1,0 +1,20 @@
+#pragma once
+/// \file isa.hpp
+/// \brief Instruction-set identifiers shared by the PIKG code generator and
+/// the runtime kernel registry (kernels/registry.hpp).
+///
+/// `Auto` is a *request* only (resolve to the widest ISA the running CPU and
+/// the build both support); generated code exists for the other three.
+
+namespace asura::pikg {
+
+enum class Isa : int {
+  Auto = 0,    ///< dispatch: pick the best genuinely-runnable backend
+  Scalar = 1,  ///< generated scalar reference (always available)
+  Avx2 = 2,    ///< 256-bit AVX2+FMA backend
+  Avx512 = 3,  ///< 512-bit AVX-512F backend
+};
+
+[[nodiscard]] const char* isaName(Isa isa);
+
+}  // namespace asura::pikg

@@ -45,6 +45,10 @@ class PiecewisePolynomial {
   /// Coefficient table, row k = subdomain k, column l = s^l coefficient.
   [[nodiscard]] const std::vector<float>& table() const { return coeff_f_; }
 
+  /// Double-precision coefficient table (same layout). The PIKG code
+  /// generator embeds this into the generated f64 kernels' table parameters.
+  [[nodiscard]] const std::vector<double>& tableF64() const { return coeff_; }
+
  private:
   int m_ = 0;
   int n_ = 0;

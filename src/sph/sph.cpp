@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fdps/tree.hpp"
+#include "kernels/registry.hpp"
 #include "sph/eos.hpp"
 #include "util/omp.hpp"
 #include "util/timer.hpp"
@@ -20,6 +21,12 @@ using util::Vec3d;
 
 namespace {
 
+/// Fitted W/dW tables for the configured SPH kernel shape (the PIKG `table`
+/// op evaluates wbar(u) = W(u,1) and dwbar(u) = dW/dr(u,1) on u = r/H).
+pikg::gen::SphKernelTables sphTablesFor(const SphParams& params) {
+  return pikg::gen::sphTables(params.kernel.type == KernelType::WendlandC2 ? 1 : 0);
+}
+
 /// Group loop of the density solve, shared by the full-set and active-set
 /// overloads. `stats` arrives with t_build/tree_builds filled by the caller.
 void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
@@ -27,6 +34,10 @@ void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
                        std::span<Particle> work, const SphParams& params,
                        DensityStats& stats) {
   const auto& entries = tree.entries();
+  // Kernel sums run through the PIKG-generated backend for the requested
+  // ISA (resolved once per pass; all threads run the same backend).
+  const pikg::KernelSet& kset = pikg::kernels(params.isa);
+  const pikg::gen::SphKernelTables tabs = sphTablesFor(params);
   int max_iter = 0;
   std::uint64_t interactions = 0;
   double walk_s = 0.0, kernel_s = 0.0;
@@ -159,30 +170,34 @@ void densityOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
         for (std::size_t j = 0; j < nc; ++j) {
           if (a.r2[j] <= cut2) a.sel.push_back(static_cast<std::uint32_t>(j));
         }
-        int nngb = 0;
-        double rho = 0.0;
-        double div = 0.0;
-        Vec3d curl{};
-        for (const auto j : a.sel) {
-          const double r = std::sqrt(a.r2[j]);
-          ++nngb;
-          rho += a.sm[j] * params.kernel.w(r, H);
-          if (r > 0.0) {
-            const Vec3d dr{px - a.sx[j], py - a.sy[j], pz - a.sz[j]};
-            const double dwdr = params.kernel.dwdr(r, H);
-            const Vec3d gradW = (dwdr / r) * dr;
-            const Vec3d dv{p.vel.x - a.qvx[j], p.vel.y - a.qvy[j],
-                           p.vel.z - a.qvz[j]};
-            div -= a.sm[j] * dv.dot(gradW);
-            curl -= a.sm[j] * dv.cross(gradW);
-          }
-          ++interactions;
+        // Pack the survivors into contiguous SoA and run the PIKG density
+        // kernel (rho plus the un-normalized div/curl estimators).
+        const std::size_t nsel = a.sel.size();
+        a.kx.resize(nsel); a.ky.resize(nsel); a.kz.resize(nsel);
+        a.km.resize(nsel);
+        a.kvx.resize(nsel); a.kvy.resize(nsel); a.kvz.resize(nsel);
+        for (std::size_t t = 0; t < nsel; ++t) {
+          const std::size_t j = a.sel[t];
+          a.kx[t] = a.sx[j]; a.ky[t] = a.sy[j]; a.kz[t] = a.sz[j];
+          a.km[t] = a.sm[j];
+          a.kvx[t] = a.qvx[j]; a.kvy[t] = a.qvy[j]; a.kvz[t] = a.qvz[j];
         }
+        const double pvx = p.vel.x, pvy = p.vel.y, pvz = p.vel.z;
+        const double hinv = 1.0 / H;
+        const double hinv3 = hinv * hinv * hinv;
+        const double hinv4 = hinv3 * hinv;
+        double rho = 0.0, div = 0.0;
+        double clx = 0.0, cly = 0.0, clz = 0.0;
+        kset.dens(1, &px, &py, &pz, &pvx, &pvy, &pvz, &hinv, &hinv3, &hinv4,
+                  static_cast<int>(nsel), a.kx.data(), a.ky.data(), a.kz.data(),
+                  a.km.data(), a.kvx.data(), a.kvy.data(), a.kvz.data(), tabs.w,
+                  &rho, &div, &clx, &cly, &clz);
+        interactions += nsel;
         p.h = H;
         p.rho = rho;
-        p.nngb = nngb;
+        p.nngb = static_cast<int>(nsel);
         p.divv = rho > 0.0 ? div / rho : 0.0;
-        p.curlv = rho > 0.0 ? curl.norm() / rho : 0.0;
+        p.curlv = rho > 0.0 ? Vec3d{clx, cly, clz}.norm() / rho : 0.0;
         p.pres = pressure(rho, p.u);
         p.cs = soundSpeed(p.u);
         // A density target's u is current (it was just kicked), so its
@@ -213,6 +228,10 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
                      std::span<Particle> work, const SphParams& params,
                      ForceStats& stats, std::vector<std::uint64_t>* wake_out) {
   const auto& entries = tree.entries();
+  // Pair math runs through the PIKG-generated backend; the host keeps the
+  // prefilter, neighbour selection, and limiter bookkeeping.
+  const pikg::KernelSet& kset = pikg::kernels(params.isa);
+  const pikg::gen::SphKernelTables tabs = sphTablesFor(params);
   std::uint64_t interactions = 0;
   double walk_s = 0.0, kernel_s = 0.0;
   double dt_cfl = std::numeric_limits<double>::infinity();
@@ -246,6 +265,8 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
       a.qdivv.resize(nc); a.qcurlv.resize(nc);
       a.qidx.resize(nc);
       a.qrung.resize(nc);
+      a.qhinv.resize(nc); a.qhh.resize(nc); a.qh4.resize(nc);
+      a.qp2.resize(nc); a.qbal.resize(nc);
       for (std::size_t j = 0; j < nc; ++j) {
         const SourceEntry& s = entries[a.idx[j]];
         const Particle& q = work[s.idx];
@@ -266,6 +287,19 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
         a.qdivv[j] = q.divv; a.qcurlv[j] = q.curlv;
         a.qidx[j] = s.idx;
         a.qrung[j] = q.rung;
+        // Pure j-quantities of the pair kernel, staged once per group:
+        // supports, P/rho^2, and the Balsara factor.
+        const double Hj = s.h;
+        const double hj = 0.5 * Hj;
+        const double hinv_j = 1.0 / Hj;
+        const double hinv2_j = hinv_j * hinv_j;
+        a.qhinv[j] = hinv_j;
+        a.qhh[j] = hj;
+        a.qh4[j] = hinv2_j * hinv2_j;
+        a.qp2[j] = a.qpres[j] / (q.rho * q.rho);
+        const double cj = a.qcs[j];
+        a.qbal[j] = std::abs(q.divv) /
+                    (std::abs(q.divv) + q.curlv + 1e-4 * cj / std::max(hj, 1e-30));
       }
       a.r2.resize(nc);
 
@@ -297,61 +331,55 @@ void hydroOverGroups(fdps::StepContext& ctx, const SourceTree& tree,
           }
         }
 
-        Vec3d acc{};
-        double dudt = 0.0;
-        double vsig = ci;
+        // Timestep-limiter bookkeeping (host-side integers): deepest
+        // neighbour rung, plus wake requests for pairs lagging this
+        // (active) target by more than the allowed gap.
         int rung_ngb = 0;
         const int rung_i = static_cast<int>(p.rung);
-
         for (const auto j : a.sel) {
-          const double r = std::sqrt(a.r2[j]);
-          const double Hj = a.qh[j];
-          ++interactions;
-
-          // Timestep-limiter bookkeeping: remember the deepest neighbour
-          // rung, and flag neighbours lagging this (active) target by more
-          // than the allowed gap for a mid-step wake.
           const int rung_j = static_cast<int>(a.qrung[j]);
           rung_ngb = std::max(rung_ngb, rung_j);
           if (wake_out != nullptr && rung_i - rung_j > kLimiterGap) {
             a.wake.push_back(packWake(pi, a.qidx[j]));
           }
-
-          const Vec3d dr{px - a.sx[j], py - a.sy[j], pz - a.sz[j]};
-
-          // Symmetrized kernel gradient.
-          const double dwi = r < Hi ? params.kernel.dwdr(r, Hi) : 0.0;
-          const double dwj = r < Hj ? params.kernel.dwdr(r, Hj) : 0.0;
-          const Vec3d gradW = (0.5 * (dwi + dwj) / r) * dr;
-
-          const Vec3d dv{p.vel.x - a.qvx[j], p.vel.y - a.qvy[j], p.vel.z - a.qvz[j]};
-          const double vdotr = dv.dot(dr);
-
-          // Monaghan (1992) viscosity with Balsara limiter.
-          double visc = 0.0;
-          if (vdotr < 0.0) {
-            const double hj = 0.5 * Hj;
-            const double hbar = 0.5 * (hi + hj);
-            const double mu = hbar * vdotr / (r * r + 0.01 * hbar * hbar);
-            const double cbar = 0.5 * (ci + a.qcs[j]);
-            const double rhobar = 0.5 * (p.rho + a.qrho[j]);
-            const double cj = a.qcs[j];
-            const double balsara_j =
-                std::abs(a.qdivv[j]) /
-                (std::abs(a.qdivv[j]) + a.qcurlv[j] + 1e-4 * cj / std::max(hj, 1e-30));
-            visc = (-params.alpha_visc * cbar * mu + params.beta_visc * mu * mu) /
-                   rhobar * 0.5 * (balsara_i + balsara_j);
-            vsig = std::max(vsig, ci + a.qcs[j] - 3.0 * mu);
-          } else {
-            vsig = std::max(vsig, ci + a.qcs[j]);
-          }
-
-          const double Pj_rho2 = a.qpres[j] / (a.qrho[j] * a.qrho[j]);
-          acc -= a.sm[j] * (Pi_rho2 + Pj_rho2 + visc) * gradW;
-          dudt += a.sm[j] * (Pi_rho2 + 0.5 * visc) * dv.dot(gradW);
         }
+        interactions += a.sel.size();
 
-        p.acc += acc;
+        // Pack the selected neighbours into contiguous SoA and run the PIKG
+        // pair kernel (symmetrized gradient + Monaghan viscosity + signal
+        // velocity max-reduction).
+        const std::size_t nsel = a.sel.size();
+        a.kx.resize(nsel); a.ky.resize(nsel); a.kz.resize(nsel);
+        a.km.resize(nsel);
+        a.kvx.resize(nsel); a.kvy.resize(nsel); a.kvz.resize(nsel);
+        a.khf.resize(nsel); a.khh.resize(nsel); a.khi.resize(nsel);
+        a.kh4.resize(nsel); a.kp2.resize(nsel); a.krho.resize(nsel);
+        a.kcs.resize(nsel); a.kbal.resize(nsel);
+        for (std::size_t t = 0; t < nsel; ++t) {
+          const std::size_t j = a.sel[t];
+          a.kx[t] = a.sx[j]; a.ky[t] = a.sy[j]; a.kz[t] = a.sz[j];
+          a.km[t] = a.sm[j];
+          a.kvx[t] = a.qvx[j]; a.kvy[t] = a.qvy[j]; a.kvz[t] = a.qvz[j];
+          a.khf[t] = a.qh[j]; a.khh[t] = a.qhh[j]; a.khi[t] = a.qhinv[j];
+          a.kh4[t] = a.qh4[j]; a.kp2[t] = a.qp2[j]; a.krho[t] = a.qrho[j];
+          a.kcs[t] = a.qcs[j]; a.kbal[t] = a.qbal[j];
+        }
+        const double pvx = p.vel.x, pvy = p.vel.y, pvz = p.vel.z;
+        const double hinv_i = 1.0 / Hi;
+        const double hinv2_i = hinv_i * hinv_i;
+        const double hinv4_i = hinv2_i * hinv2_i;
+        const double rho_i = p.rho;
+        double fax = 0.0, fay = 0.0, faz = 0.0, dudt = 0.0;
+        double vsig = ci;
+        kset.hydro(1, &px, &py, &pz, &pvx, &pvy, &pvz, &Hi, &hi, &hinv_i, &hinv4_i,
+                   &Pi_rho2, &rho_i, &ci, &balsara_i, static_cast<int>(nsel),
+                   a.kx.data(), a.ky.data(), a.kz.data(), a.km.data(), a.kvx.data(),
+                   a.kvy.data(), a.kvz.data(), a.khf.data(), a.khh.data(),
+                   a.khi.data(), a.kh4.data(), a.kp2.data(), a.krho.data(),
+                   a.kcs.data(), a.kbal.data(), tabs.dw, params.alpha_visc,
+                   params.beta_visc, &fax, &fay, &faz, &dudt, &vsig);
+
+        p.acc += Vec3d{fax, fay, faz};
         p.du_dt = dudt;
         p.vsig = vsig;
         p.rung_ngb = static_cast<std::uint8_t>(rung_ngb);

@@ -18,6 +18,7 @@
 
 #include "fdps/context.hpp"
 #include "fdps/particle.hpp"
+#include "pikg/isa.hpp"
 #include "sph/kernels.hpp"
 
 namespace asura::sph {
@@ -54,6 +55,9 @@ struct SphParams {
   int leaf_size = 16;
   int max_h_iterations = 30;
   double h_tolerance = 1e-3;
+  /// PIKG-generated kernel backend for the density/hydro inner loops
+  /// (kernels/registry.hpp; Auto = widest the host supports).
+  pikg::Isa isa = pikg::Isa::Auto;
 };
 
 struct DensityStats {

@@ -204,6 +204,67 @@ TEST(Distributed, MassAndMomentumExactAcrossExchanges) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed energy/momentum reduction helpers
+// ---------------------------------------------------------------------------
+
+TEST(Distributed, GlobalReductionHelpersMatchSerialWithoutGathering) {
+  // The global* accessors reduce in-band (DistributedEngine::allreduceSum,
+  // rank-ordered summation) instead of the old pattern of gathering every
+  // rank's particles host-side and totalling them there. Every rank must
+  // see the same bits; the totals must match a serial run of the same IC to
+  // FP-summation noise (exactConfig: theta = 0, ScalarF64 — the only
+  // serial-vs-distributed difference is summation order).
+  const auto ic = gasBall(600, 10.0, 1.0, 77, 3000.0);
+  SimulationConfig cfg = exactConfig();
+
+  Simulation serial(ic, cfg);
+  for (int s = 0; s < 2; ++s) serial.step();
+  const auto e_serial = serial.energyReport();
+  const auto p_serial = serial.totalMomentum();
+  const auto l_serial = serial.totalAngularMomentum();
+  // Serial: global == local by definition.
+  EXPECT_EQ(serial.globalEnergyReport().total(), e_serial.total());
+  EXPECT_EQ((serial.globalMomentum() - p_serial).norm(), 0.0);
+
+  constexpr int P = 8;
+  Cluster cluster(P);
+  std::mutex mu;
+  std::vector<asura::core::EnergyReport> energies;
+  std::vector<asura::util::Vec3d> momenta, ang_momenta;
+  cluster.run([&](Comm& comm) {
+    Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+    sim.attachDistributed(std::make_unique<DistributedEngine>(comm, engineConfig()));
+    for (int s = 0; s < 2; ++s) sim.step();
+    const auto e = sim.globalEnergyReport();
+    const auto p = sim.globalMomentum();
+    const auto l = sim.globalAngularMomentum();
+    std::lock_guard<std::mutex> lk(mu);
+    energies.push_back(e);
+    momenta.push_back(p);
+    ang_momenta.push_back(l);
+  });
+
+  ASSERT_EQ(energies.size(), static_cast<std::size_t>(P));
+  // Rank-ordered summation: every rank computes bitwise the same totals.
+  for (int r = 1; r < P; ++r) {
+    EXPECT_EQ(energies[static_cast<std::size_t>(r)].kinetic, energies[0].kinetic);
+    EXPECT_EQ(energies[static_cast<std::size_t>(r)].thermal, energies[0].thermal);
+    EXPECT_EQ(energies[static_cast<std::size_t>(r)].potential, energies[0].potential);
+    EXPECT_EQ((momenta[static_cast<std::size_t>(r)] - momenta[0]).norm(), 0.0);
+    EXPECT_EQ((ang_momenta[static_cast<std::size_t>(r)] - ang_momenta[0]).norm(), 0.0);
+  }
+  // And the totals agree with the serial run to summation-noise levels.
+  const double e_scale = std::abs(e_serial.kinetic) + std::abs(e_serial.thermal) +
+                         std::abs(e_serial.potential);
+  EXPECT_LT(std::abs(energies[0].total() - e_serial.total()) / e_scale, 1e-9);
+  EXPECT_LT(std::abs(energies[0].kinetic - e_serial.kinetic) / e_scale, 1e-9);
+  EXPECT_LT(std::abs(energies[0].potential - e_serial.potential) / e_scale, 1e-9);
+  const double p_scale = std::max(p_serial.norm(), 1.0);
+  EXPECT_LT((momenta[0] - p_serial).norm() / p_scale, 1e-6);
+  EXPECT_LT((ang_momenta[0] - l_serial).norm() / std::max(l_serial.norm(), 1.0), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
 // Exchange-cache counters
 // ---------------------------------------------------------------------------
 

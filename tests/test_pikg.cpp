@@ -101,6 +101,60 @@ TEST(Dsl, UndefinedOperandDetected) {
   EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
 }
 
+TEST(Dsl, ProductionKernelsValidate) {
+  EXPECT_NO_THROW(asura::pikg::validate(asura::pikg::makeGravityProductionKernel()));
+  EXPECT_NO_THROW(asura::pikg::validate(asura::pikg::makeDensityKernel()));
+  EXPECT_NO_THROW(asura::pikg::validate(asura::pikg::makeHydroForceKernel()));
+  EXPECT_EQ(asura::pikg::makeDensityKernel().flops_per_interaction, 73);
+  EXPECT_EQ(asura::pikg::makeHydroForceKernel().flops_per_interaction, 101);
+}
+
+TEST(Dsl, SelectRequiresMaskOperand) {
+  auto def = asura::pikg::makeGravityProductionKernel();
+  // dx is an arithmetic value, not a gt/lt mask.
+  def.body.push_back({"bad", "select", "dx", "dy", "dz"});
+  EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
+}
+
+TEST(Dsl, MaskCannotBeUsedAsValue) {
+  auto def = asura::pikg::makeGravityProductionKernel();
+  def.body.push_back({"bad", "add", "mask", "dx", ""});
+  EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
+}
+
+TEST(Dsl, TableOpRequiresDeclaredTable) {
+  auto def = asura::pikg::makeDensityKernel();
+  def.body.push_back({"bad", "table", "no_such_table", "u", ""});
+  EXPECT_THROW(asura::pikg::validate(def), std::invalid_argument);
+}
+
+TEST(Dsl, SoaEmittersCoverEveryIsa) {
+  for (const auto& def :
+       {asura::pikg::makeGravityProductionKernel(), asura::pikg::makeDensityKernel(),
+        asura::pikg::makeHydroForceKernel()}) {
+    for (const auto isa :
+         {asura::pikg::Isa::Scalar, asura::pikg::Isa::Avx2, asura::pikg::Isa::Avx512}) {
+      const std::string src = asura::pikg::generateSoaKernel(def, isa);
+      EXPECT_NE(src.find(def.name), std::string::npos);
+    }
+  }
+  // The f32 SIMD backends must carry the Newton-Raphson-refined rsqrt, not
+  // the raw ~12-bit hardware approximation.
+  const auto grav = asura::pikg::makeGravityProductionKernel();
+  const std::string avx2 = asura::pikg::generateSoaKernel(grav, asura::pikg::Isa::Avx2);
+  EXPECT_NE(avx2.find("_mm256_rsqrt_ps"), std::string::npos);
+  EXPECT_NE(avx2.find("_mm256_fnmadd_ps"), std::string::npos);  // NR step
+  const std::string avx512 =
+      asura::pikg::generateSoaKernel(grav, asura::pikg::Isa::Avx512);
+  EXPECT_NE(avx512.find("_mm512_rsqrt14_ps"), std::string::npos);
+  EXPECT_NE(avx512.find("_mm512_fnmadd_ps"), std::string::npos);
+  // The SPH tables go through gathers (SIMD table lookup, §3.5).
+  const std::string dens =
+      asura::pikg::generateSoaKernel(asura::pikg::makeDensityKernel(),
+                                     asura::pikg::Isa::Avx2);
+  EXPECT_NE(dens.find("_mm256_i32gather_pd"), std::string::npos);
+}
+
 TEST(Dsl, GeneratedSourcesContainExpectedBackends) {
   const auto def = asura::pikg::makeGravityKernel();
   const std::string scalar = asura::pikg::generateScalar(def);

@@ -1,10 +1,20 @@
 /// \file pikg_gen.cpp
-/// \brief Build-time PIKG invocation: emit the generated kernel header.
+/// \brief Build-time PIKG invocation: emit the generated kernel file set.
 ///
 /// Mirrors the paper's workflow where PIKG turns DSL kernel descriptions
 /// into architecture-specific source ("the generated code for A64FX using
 /// ARM SVE intrinsics is about 500 lines"); here the backends are scalar,
-/// AVX2 and AVX-512, and the output is consumed by tests/benchmarks.
+/// AVX2 and AVX-512. Output:
+///
+///   pikg_gravity.hpp            — legacy AoS test header (tests/benchmarks)
+///   pikg_kernels.hpp            — production SoA declarations + PPA tables
+///   pikg_kernels_scalar.cpp     — scalar reference TU
+///   pikg_kernels_avx2.cpp       — AVX2 TU (built with -mavx2 -mfma)
+///   pikg_kernels_avx512.cpp     — AVX-512 TU (built with -mavx512f)
+///
+/// The production TUs are compiled into the main library and dispatched at
+/// runtime by kernels/registry.hpp. Output is deterministic: running the
+/// generator twice produces byte-identical files (CI diffs two runs).
 
 #include <fstream>
 #include <iostream>
@@ -13,16 +23,19 @@
 
 int main(int argc, char** argv) {
   if (argc != 2) {
-    std::cerr << "usage: pikg_gen <output-header>\n";
+    std::cerr << "usage: pikg_gen <output-dir>\n";
     return 1;
   }
-  const auto def = asura::pikg::makeGravityKernel();
-  std::ofstream out(argv[1]);
-  if (!out) {
-    std::cerr << "pikg_gen: cannot open " << argv[1] << "\n";
-    return 1;
+  const std::string dir = argv[1];
+  for (const auto& file : asura::pikg::generateProductionFiles()) {
+    const std::string path = dir + "/" + file.name;
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::cerr << "pikg_gen: cannot open " << path << "\n";
+      return 1;
+    }
+    out << file.content;
+    std::cout << "pikg_gen: wrote " << path << "\n";
   }
-  out << asura::pikg::generateHeader(def);
-  std::cout << "pikg_gen: wrote " << argv[1] << "\n";
   return 0;
 }
