@@ -1,6 +1,7 @@
 #include "comm/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -15,6 +16,8 @@ Cluster::Cluster(int nranks) : nranks_(nranks) {
 Cluster::~Cluster() = default;
 
 void Cluster::run(const std::function<void(Comm&)>& body) {
+  resetRunState();
+
   auto world_ranks = std::make_shared<std::vector<int>>();
   world_ranks->resize(static_cast<std::size_t>(nranks_));
   for (int i = 0; i < nranks_; ++i) (*world_ranks)[static_cast<std::size_t>(i)] = i;
@@ -25,20 +28,92 @@ void Cluster::run(const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(nranks_));
   std::mutex err_mutex;
   std::exception_ptr first_error;
+  bool first_is_abort = false;
 
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(this, comm_id, r, nranks_, world_ranks);
       try {
         body(comm);
-      } catch (...) {
+      } catch (const ClusterAborted&) {
+        // Secondary casualty of somebody else's failure: recorded only if no
+        // real exception ever surfaces, and never re-triggers the abort.
         std::lock_guard<std::mutex> lk(err_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error) {
+          first_error = std::current_exception();
+          first_is_abort = true;
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mutex);
+          if (!first_error || first_is_abort) {
+            first_error = std::current_exception();
+            first_is_abort = false;
+          }
+        }
+        // Cooperative abort: peers blocked in recv/barrier/collectives wake
+        // with ClusterAborted instead of deadlocking the join below.
+        requestAbort();
       }
     });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void Cluster::resetRunState() {
+  abort_flag_.store(false, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lk(box->m);
+    box->q.clear();
+  }
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  barriers_.clear();
+}
+
+void Cluster::requestAbort() {
+  abort_flag_.store(true, std::memory_order_release);
+  // Lock/unlock each waiter's mutex before notifying: a waiter that checked
+  // the predicate just before the flag was set cannot slip into wait() and
+  // miss the notification.
+  for (auto& box : boxes_) {
+    { std::lock_guard<std::mutex> lk(box->m); }
+    box->cv.notify_all();
+  }
+  std::lock_guard<std::mutex> lk(barrier_mutex_);
+  for (auto& [id, st] : barriers_) {
+    { std::lock_guard<std::mutex> slk(st->m); }
+    st->cv.notify_all();
+  }
+}
+
+void Cluster::setFaultPlan(const FaultPlan& plan) {
+  fault_ = plan;
+  fault_rank_step_.store(-1, std::memory_order_release);
+  fault_ops_.store(0, std::memory_order_release);
+}
+
+void Cluster::noteStep(int world_rank, long step) {
+  if (fault_.kind == FaultPlan::Kind::None || world_rank != fault_.rank) return;
+  fault_rank_step_.store(step, std::memory_order_release);
+}
+
+FaultPlan::Kind Cluster::nextFault(int world_rank, bool is_send) {
+  if (fault_.kind == FaultPlan::Kind::None || world_rank != fault_.rank) {
+    return FaultPlan::Kind::None;
+  }
+  if (fault_.at_step >= 0 &&
+      fault_rank_step_.load(std::memory_order_acquire) < fault_.at_step) {
+    return FaultPlan::Kind::None;
+  }
+  const bool eligible = fault_.kind == FaultPlan::Kind::KillRank || is_send;
+  if (!eligible) return FaultPlan::Kind::None;
+  const auto op = fault_ops_.fetch_add(1, std::memory_order_acq_rel);
+  if (op < fault_.after_ops) return FaultPlan::Kind::None;
+  if (op >= fault_.after_ops + static_cast<std::uint64_t>(std::max(1, fault_.count))) {
+    return FaultPlan::Kind::None;
+  }
+  return fault_.kind;
 }
 
 Cluster::Traffic Cluster::traffic() const {
@@ -73,9 +148,13 @@ Buffer Cluster::collect(int world_me, const MailKey& key) {
   std::unique_lock<std::mutex> lk(mb.m);
   mb.cv.wait(lk, [&] {
     auto it = mb.q.find(key);
-    return it != mb.q.end() && !it->second.empty();
+    return (it != mb.q.end() && !it->second.empty()) || aborted();
   });
   auto it = mb.q.find(key);
+  if (it == mb.q.end() || it->second.empty()) {
+    // Woken by the abort with no matching message: the sender died.
+    throw ClusterAborted{};
+  }
   Buffer out = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mb.q.erase(it);
@@ -84,17 +163,47 @@ Buffer Cluster::collect(int world_me, const MailKey& key) {
 
 void Comm::sendBytes(int dst, int tag, const void* data, std::size_t nbytes) {
   if (dst < 0 || dst >= size_) throw std::out_of_range("send: bad destination rank");
+  // A compute-bound rank that only ever sends still collapses promptly after
+  // a peer died instead of producing into dead mailboxes forever.
+  cluster_->throwIfAborted();
   Buffer buf(nbytes);
   if (nbytes > 0) std::memcpy(buf.data(), data, nbytes);
+
+  switch (cluster_->nextFault(worldRank(rank_), /*is_send=*/true)) {
+    case FaultPlan::Kind::DropMessage:
+      return;  // silently discarded; the payload never reaches the mailbox
+    case FaultPlan::Kind::DelayMessage:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(cluster_->fault_.delay_ms));
+      break;
+    case FaultPlan::Kind::CorruptPayload:
+      if (!buf.empty()) buf[0] = static_cast<char>(~buf[0]);
+      break;
+    case FaultPlan::Kind::KillRank:
+      throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
+                       " killed in send");
+    case FaultPlan::Kind::None:
+      break;
+  }
   cluster_->deposit(worldRank(dst), {comm_id_, rank_, tag}, std::move(buf));
 }
 
 Buffer Comm::recvBytes(int src, int tag) {
   if (src < 0 || src >= size_) throw std::out_of_range("recv: bad source rank");
+  if (cluster_->nextFault(worldRank(rank_), /*is_send=*/false) ==
+      FaultPlan::Kind::KillRank) {
+    throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
+                     " killed in recv");
+  }
   return cluster_->collect(worldRank(rank_), {comm_id_, src, tag});
 }
 
 void Comm::barrier() {
+  if (cluster_->nextFault(worldRank(rank_), /*is_send=*/false) ==
+      FaultPlan::Kind::KillRank) {
+    throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
+                     " killed in barrier");
+  }
   auto& st = cluster_->barrierState(comm_id_);
   std::unique_lock<std::mutex> lk(st.m);
   const std::uint64_t gen = st.generation;
@@ -103,7 +212,8 @@ void Comm::barrier() {
     ++st.generation;
     st.cv.notify_all();
   } else {
-    st.cv.wait(lk, [&] { return st.generation != gen; });
+    st.cv.wait(lk, [&] { return st.generation != gen || cluster_->aborted(); });
+    if (st.generation == gen) throw ClusterAborted{};  // abort, not completion
   }
 }
 

@@ -38,6 +38,45 @@ using Buffer = std::vector<char>;
 
 enum class Op { Sum, Min, Max };
 
+/// Thrown by blocked recv/barrier/collective calls when another rank of the
+/// cluster died: the cooperative abort path wakes every waiter instead of
+/// letting Cluster::run deadlock in the join. Cluster::run suppresses these
+/// in favour of the originating rank's real exception.
+class ClusterAborted : public std::runtime_error {
+ public:
+  ClusterAborted() : std::runtime_error("comm: cluster aborted by a peer rank") {}
+};
+
+/// Thrown from a comm operation when a FaultPlan kills the rank (fault
+/// injection for recovery tests; never raised in production runs).
+class RankKilled : public std::runtime_error {
+ public:
+  explicit RankKilled(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Injected failure for the SPMD substrate. One plan at a time, installed
+/// with Cluster::setFaultPlan *before* Cluster::run; the plan applies to one
+/// world rank and triggers once that rank is armed (noteStep reached
+/// `at_step`, or immediately when at_step < 0) and has issued `after_ops`
+/// further eligible operations. Message faults (drop/delay/corrupt) act on
+/// the send side and affect up to `count` sends; KillRank throws RankKilled
+/// from the first eligible operation (send, recv or barrier).
+struct FaultPlan {
+  enum class Kind {
+    None,            ///< no fault installed
+    DropMessage,     ///< send is silently discarded
+    DelayMessage,    ///< send is held for delay_ms before delivery
+    CorruptPayload,  ///< first byte of the payload is bit-flipped
+    KillRank,        ///< the rank throws RankKilled
+  };
+  Kind kind = Kind::None;
+  int rank = -1;                 ///< world rank the fault applies to
+  long at_step = -1;             ///< arm at this step (see Cluster::noteStep); <0 = armed
+  std::uint64_t after_ops = 0;   ///< eligible ops to let through once armed
+  int count = 1;                 ///< eligible ops affected (KillRank fires once)
+  int delay_ms = 5;              ///< DelayMessage hold time
+};
+
 class Comm;
 
 /// Owns the mailboxes and synchronization state for a set of SPMD ranks.
@@ -52,7 +91,12 @@ class Cluster {
   [[nodiscard]] int size() const { return nranks_; }
 
   /// Run `body(comm)` on every rank (as threads); rethrows the first
-  /// exception raised by any rank after all threads join.
+  /// exception raised by any rank after all threads join. A throwing rank
+  /// triggers the cooperative abort: peers blocked in recv/barrier/
+  /// collectives wake with ClusterAborted instead of deadlocking the join,
+  /// and run() rethrows the *originating* exception, not the secondary
+  /// aborts. Mailboxes and barrier states are purged at entry, so an
+  /// aborted run leaves no residue for the next one.
   void run(const std::function<void(Comm&)>& body);
 
   struct Traffic {
@@ -62,8 +106,38 @@ class Cluster {
   [[nodiscard]] Traffic traffic() const;
   void resetTraffic();
 
+  // --- fault injection ------------------------------------------------------
+
+  /// Install a fault plan (call before run(); not thread-safe against a
+  /// running cluster). Resets the plan's trigger counters.
+  void setFaultPlan(const FaultPlan& plan);
+  void clearFaultPlan() { setFaultPlan(FaultPlan{}); }
+
+  /// Step-trigger hook for FaultPlan::at_step: step drivers report each
+  /// rank's current step (DistributedEngine::exchangeParticles calls this
+  /// once per step). A no-op unless a plan targets `world_rank`.
+  void noteStep(int world_rank, long step);
+
+  [[nodiscard]] bool aborted() const {
+    return abort_flag_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Comm;
+
+  /// Wake every rank blocked in a mailbox or barrier wait; they throw
+  /// ClusterAborted from the wait instead of sleeping through the join.
+  void requestAbort();
+  void throwIfAborted() const {
+    if (aborted()) throw ClusterAborted{};
+  }
+  /// Reset the abort flag and purge mailbox/barrier residue of a previous
+  /// (possibly aborted) run.
+  void resetRunState();
+
+  /// Fault decision for one eligible operation of `world_rank`. Message
+  /// faults are eligible on sends only; KillRank on any comm op.
+  [[nodiscard]] FaultPlan::Kind nextFault(int world_rank, bool is_send);
 
   struct MailKey {
     int comm_id;
@@ -97,6 +171,15 @@ class Cluster {
   std::atomic<int> next_comm_id_{1};
   std::atomic<std::uint64_t> msg_count_{0};
   std::atomic<std::uint64_t> byte_count_{0};
+
+  // --- cooperative abort ---
+  std::atomic<bool> abort_flag_{false};
+
+  // --- fault injection (single plan; counters touched only by the planned
+  // rank's thread, atomics are belt-and-braces) ---
+  FaultPlan fault_;
+  std::atomic<long> fault_rank_step_{-1};
+  std::atomic<std::uint64_t> fault_ops_{0};
 };
 
 /// Per-rank communicator handle. Move-only: every rank owns exactly one

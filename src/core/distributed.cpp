@@ -71,6 +71,10 @@ void DistributedEngine::exchangeParticles(std::vector<Particle>& parts,
                                           long step) {
   if (attached_) throw std::logic_error("exchangeParticles: detach ghosts first");
 
+  // Arm any step-gated fault plan: "kill rank r at step s" triggers on the
+  // first communication this rank performs once it has entered step s.
+  comm_.cluster().noteStep(comm_.worldRank(comm_.rank()), step);
+
   bool decomposed = false;
   if (!dd_.ready() ||
       (cfg_.decompose_interval > 0 && step % cfg_.decompose_interval == 0)) {
@@ -343,6 +347,20 @@ void DistributedEngine::directFeedback(std::vector<Particle>& parts,
     const int winner = comm_.allreduce(claim, Op::Min);
     if (winner == comm_.rank()) parts[arg].u += ev.energy / parts[arg].mass;
   }
+}
+
+DistributedEngine::EngineState DistributedEngine::saveState() const {
+  if (attached_) throw std::logic_error("saveState: detach ghosts first");
+  return {dd_.saveCuts(), ghost_cache_, drift_accum_, dirty_local_};
+}
+
+void DistributedEngine::restoreState(EngineState s) {
+  dd_.restoreCuts(std::move(s.cuts));
+  ghost_cache_ = std::move(s.ghost_cache);
+  drift_accum_ = s.drift_accum;
+  dirty_local_ = s.dirty_local;
+  attached_ = false;
+  stats_ = ExchangeStats{};
 }
 
 std::vector<Particle> blockPartition(const std::vector<Particle>& all, int rank,

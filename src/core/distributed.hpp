@@ -212,6 +212,23 @@ class DistributedEngine {
                       const std::vector<stellar::SnEvent>& events,
                       double feedback_radius);
 
+  // --- checkpoint support ---------------------------------------------------
+
+  /// Everything a restarted engine needs to behave bitwise like the original:
+  /// the domain cuts (re-decomposing would consume rng and reshuffle owners),
+  /// the live ghost-export lists/reach, and the cache-invalidation inputs
+  /// (accumulated drift, the local dirty flag). Call with ghosts detached;
+  /// restoreState leaves them detached. stats_ is per-step scratch and the
+  /// export tree is rebuilt on the next full exchange — neither is state.
+  struct EngineState {
+    fdps::DomainDecomposer::Cuts cuts;
+    fdps::GhostExchange ghost_cache;
+    double drift_accum = 0.0;
+    bool dirty_local = false;
+  };
+  [[nodiscard]] EngineState saveState() const;
+  void restoreState(EngineState s);
+
  private:
   void fullExchange(std::vector<Particle>& parts, std::size_t& n_local,
                     fdps::StepContext& ctx, const gravity::GravityParams& grav);

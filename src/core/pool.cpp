@@ -1,5 +1,8 @@
 #include "core/pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 namespace asura::core {
 
 PoolNodeScheduler::PoolNodeScheduler(std::shared_ptr<SurrogateBackend> backend,
@@ -64,6 +67,102 @@ std::uint64_t PoolNodeScheduler::jobsCompleted() const {
   return completed_;
 }
 
+std::uint64_t PoolNodeScheduler::jobsFallback() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return fallbacks_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsFailed() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return failed_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsRetried() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return retried_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsTimedOut() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return timed_out_;
+}
+
+std::vector<PoolNodeScheduler::PendingResult> PoolNodeScheduler::snapshotResults() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  // Drain: a queued or running job cannot be serialized mid-flight, so the
+  // snapshot waits for every submitted prediction to land in results_.
+  // Predictions are pure functions of their job, so the drained results are
+  // identical to what the continuous run would have collected later.
+  done_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+  std::vector<PendingResult> out;
+  out.reserve(results_.size());
+  for (const auto& [release, region] : results_) out.push_back({release, region});
+  // Equal-release results sit in completion order (scheduling-dependent);
+  // canonicalize by first particle id so the checkpoint bytes are stable.
+  std::sort(out.begin(), out.end(), [](const PendingResult& a, const PendingResult& b) {
+    const std::uint64_t ia = a.region.empty() ? 0 : a.region.front().id;
+    const std::uint64_t ib = b.region.empty() ? 0 : b.region.front().id;
+    return std::pair(a.release_step, ia) < std::pair(b.release_step, ib);
+  });
+  return out;
+}
+
+void PoolNodeScheduler::restoreResults(std::vector<PendingResult> results) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  results_.clear();
+  for (auto& r : results) results_.emplace(r.release_step, std::move(r.region));
+}
+
+std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) {
+  const auto run = [&](SurrogateBackend& b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out = b.predict(job.region, job.sn_pos, job.energy, job.horizon);
+    const std::chrono::duration<double> el = std::chrono::steady_clock::now() - t0;
+    if (job_timeout_s_ > 0.0 && el.count() > job_timeout_s_) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++timed_out_;
+    }
+    return out;
+  };
+
+  // Primary attempt plus retries. A backend that *throws* is treated the
+  // same as one returning a contract violation.
+  for (int attempt = 0; attempt <= retry_budget_; ++attempt) {
+    try {
+      auto out = run(*backend_);
+      if (validatePrediction(job.region, out).empty()) return out;
+    } catch (...) {
+    }
+    if (attempt < retry_budget_) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++retried_;
+    }
+  }
+
+  // Degrade to the fallback backend (per-region, not globally: later jobs
+  // still try the primary first).
+  if (fallback_) {
+    try {
+      auto out = run(*fallback_);
+      if (validatePrediction(job.region, out).empty()) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++fallbacks_;
+        return out;
+      }
+    } catch (...) {
+    }
+  }
+
+  // Last resort: identity prediction. Mass and ids are trivially conserved;
+  // the frozen particles unfreeze with their capture-time state.
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++fallbacks_;
+    ++failed_;
+  }
+  return job.region;
+}
+
 void PoolNodeScheduler::workerLoop() {
   for (;;) {
     Job job;
@@ -76,8 +175,7 @@ void PoolNodeScheduler::workerLoop() {
       ++in_flight_;
       in_flight_releases_.insert(job.release_step);
     }
-    auto prediction =
-        backend_->predict(std::move(job.region), job.sn_pos, job.energy, job.horizon);
+    auto prediction = predictWithDegradation(job);
     {
       std::lock_guard<std::mutex> lk(mutex_);
       results_.emplace(job.release_step, std::move(prediction));

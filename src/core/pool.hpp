@@ -52,6 +52,56 @@ class PoolNodeScheduler {
   [[nodiscard]] long returnInterval() const { return return_interval_; }
   [[nodiscard]] int poolNodes() const { return n_pool_; }
 
+  // --- graceful degradation -------------------------------------------------
+  // Every completed job is checked against the prediction contract
+  // (validatePrediction). A throwing or contract-violating primary backend is
+  // retried up to the retry budget, then the job degrades to the fallback
+  // backend (typically SedovOracleBackend); if the fallback also fails, the
+  // job returns its input region unchanged (identity prediction: mass and
+  // ids trivially conserved, the particles just unfreeze). Configure before
+  // the first submit — the knobs are read by worker threads without locks.
+
+  /// Backend a contract-violating job degrades to (null: skip to identity).
+  void setFallbackBackend(std::shared_ptr<SurrogateBackend> fallback) {
+    fallback_ = std::move(fallback);
+  }
+  /// Primary-backend retries before degrading (default 1).
+  void setRetryBudget(int retries) { retry_budget_ = retries < 0 ? 0 : retries; }
+  /// Wall-clock budget per predict call [s]. The thread model cannot abort a
+  /// running predict, so an overrun is *recorded* (jobsTimedOut) when the
+  /// call returns, not preempted; <= 0 disables the check.
+  void setJobTimeout(double seconds) { job_timeout_s_ = seconds; }
+
+  /// Jobs whose result came from the fallback backend (or the identity
+  /// last resort). StepStats::surrogate_fallbacks reports the per-step delta.
+  [[nodiscard]] std::uint64_t jobsFallback() const;
+  /// Jobs where even the fallback failed and the identity result was used.
+  [[nodiscard]] std::uint64_t jobsFailed() const;
+  /// Primary predict calls re-run after an exception/contract violation.
+  [[nodiscard]] std::uint64_t jobsRetried() const;
+  /// Predict calls that overran the job timeout (see setJobTimeout).
+  [[nodiscard]] std::uint64_t jobsTimedOut() const;
+
+  // --- checkpoint support ---------------------------------------------------
+
+  /// A prediction waiting for its release step.
+  struct PendingResult {
+    long release_step = 0;
+    std::vector<Particle> region;
+  };
+
+  /// Drain the pipeline (blocks until no job is queued or running) and
+  /// return every undelivered prediction, ordered by (release_step, first
+  /// particle id) — completion order is scheduling-dependent, so the
+  /// checkpoint bytes need the canonical sort. The results stay in the
+  /// scheduler; this is a copy.
+  [[nodiscard]] std::vector<PendingResult> snapshotResults();
+
+  /// Replace the undelivered-prediction set (restore path). Queued/running
+  /// jobs are not representable in a snapshot: the caller checkpoints
+  /// between steps *after* snapshotResults drained the pipeline.
+  void restoreResults(std::vector<PendingResult> results);
+
  private:
   struct Job {
     std::uint64_t id;
@@ -63,10 +113,16 @@ class PoolNodeScheduler {
   };
 
   void workerLoop();
+  /// Run the job through primary -> retries -> fallback -> identity,
+  /// recording degradation counters. Called without the lock held.
+  [[nodiscard]] std::vector<Particle> predictWithDegradation(const Job& job);
 
   std::shared_ptr<SurrogateBackend> backend_;
+  std::shared_ptr<SurrogateBackend> fallback_;
   int n_pool_;
   long return_interval_;
+  int retry_budget_ = 1;
+  double job_timeout_s_ = 0.0;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< wakes workers
@@ -77,6 +133,10 @@ class PoolNodeScheduler {
   int in_flight_ = 0;
   std::uint64_t next_job_id_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t timed_out_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

@@ -5,6 +5,9 @@
 
 #include "core/distributed.hpp"
 #include "fdps/box.hpp"
+#include "io/checkpoint.hpp"
+#include "io/particle_codec.hpp"
+#include "io/serialize.hpp"
 #include "kernels/registry.hpp"
 #include "util/units.hpp"
 
@@ -25,6 +28,11 @@ Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
     if (!backend_) backend_ = std::make_shared<SedovOracleBackend>();
     pool_ = std::make_unique<PoolNodeScheduler>(backend_, cfg_.n_pool_nodes,
                                                 cfg_.return_interval);
+    // Graceful degradation: a job whose primary prediction throws or breaks
+    // the contract (validatePrediction) retries, then falls back per-region
+    // to the physics oracle — the training target doubles as the
+    // always-available reference implementation.
+    pool_->setFallbackBackend(std::make_shared<SedovOracleBackend>());
   }
 }
 
@@ -47,6 +55,11 @@ sph::SphParams Simulation::sphParams() const {
 }
 
 StepStats Simulation::step() {
+  // Reject un-integrable configurations before any work or collective call:
+  // config() is mutable between steps, so the check runs at every entry and
+  // throws the same descriptive std::invalid_argument on every rank.
+  validateConfig();
+
   // Full reset of the persistent lastStats() member: a run that alternates
   // hierarchical on/off must never see the previous mode's rung histogram,
   // sub-step counters or limiter tallies leak into this step's report.
@@ -255,6 +268,16 @@ StepStats Simulation::step() {
     stats.reach_retries = dist_->stats().reach_retries;
     stats.reach_giveups = dist_->stats().reach_giveups;
   }
+  // Degradation visibility: jobs completed since the last step whose result
+  // came from the fallback backend (or the identity last resort).
+  if (pool_) {
+    const std::uint64_t fb = pool_->jobsFallback();
+    stats.surrogate_fallbacks = static_cast<int>(fb - fallback_baseline_);
+    fallback_baseline_ = fb;
+  }
+  // Run-integrity guard: trips checkpoint-and-abort on non-finite state or
+  // broken conservation before a corrupt step is published as "done".
+  if (cfg_.validate_steps) validateStepInvariants();
   t_ += dt;
   ++step_;
   return stats;
@@ -1087,6 +1110,385 @@ std::vector<double> Simulation::columnDensityMap(int axis, int nx, int ny,
     map[static_cast<std::size_t>(iy) * nx + ix] += p.mass / (cell_x * cell_y);
   }
   return map;
+}
+
+void Simulation::validateConfig() const {
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("SimulationConfig: " + what);
+  };
+  if (!(cfg_.dt_global > 0.0) || !std::isfinite(cfg_.dt_global)) {
+    bad("dt_global must be positive and finite");
+  }
+  if (!(cfg_.cfl_dt_min > 0.0)) bad("cfl_dt_min must be positive");
+  if (!(cfg_.eta_acc > 0.0)) bad("eta_acc must be positive");
+  if (!(cfg_.rung_safety > 0.0)) bad("rung_safety must be positive");
+  if (cfg_.max_rung < 0 || cfg_.max_rung >= kMaxRungs) {
+    bad("max_rung must lie in [0, " + std::to_string(kMaxRungs - 1) + "]");
+  }
+  if (!(cfg_.sn_box_size > 0.0)) bad("sn_box_size must be positive");
+  if (!(cfg_.surrogate_horizon > 0.0)) bad("surrogate_horizon must be positive");
+  if (cfg_.return_interval <= 0) bad("return_interval must be positive");
+  if (!(cfg_.feedback_radius > 0.0)) bad("feedback_radius must be positive");
+  if (cfg_.sph.n_ngb <= 0) bad("sph.n_ngb must be positive");
+  if (!(cfg_.sph.cfl > 0.0)) bad("sph.cfl must be positive");
+  if (!(cfg_.gravity.theta >= 0.0)) bad("gravity.theta must be non-negative");
+  // A pinned (non-Auto) backend the host cannot execute would be silently
+  // clamped by resolveIsa — an explicit pin deserves an explicit failure.
+  if (cfg_.kernel_isa != pikg::Isa::Auto &&
+      pikg::resolveIsa(cfg_.kernel_isa) != cfg_.kernel_isa) {
+    bad("kernel_isa pins a backend this host cannot execute");
+  }
+}
+
+void Simulation::validateStepInvariants() {
+  // Local sweep: the state published at the step boundary must be finite
+  // everywhere observers read it. Sequential index-order accumulation keeps
+  // mass and the (mod-2^64 exact) id sum deterministic.
+  std::string err;
+  double mass = 0.0;
+  std::uint64_t id_sum = 0;
+  for (std::size_t i = 0; i < n_local_; ++i) {
+    const auto& p = parts_[i];
+    mass += p.mass;
+    id_sum += p.id;
+    const bool finite =
+        std::isfinite(p.pos.x) && std::isfinite(p.pos.y) && std::isfinite(p.pos.z) &&
+        std::isfinite(p.vel.x) && std::isfinite(p.vel.y) && std::isfinite(p.vel.z) &&
+        std::isfinite(p.acc.x) && std::isfinite(p.acc.y) && std::isfinite(p.acc.z) &&
+        (!p.isGas() || (std::isfinite(p.u) && p.u > 0.0));
+    if (!finite && err.empty()) {
+      err = "non-finite state on particle id " + std::to_string(p.id);
+    }
+  }
+
+  // Global conservation tallies (collective and uniform: validate_steps must
+  // be set on every rank, like every other config knob).
+  double v[2] = {static_cast<double>(n_local_), mass};
+  std::uint64_t gid = id_sum;
+  if (dist_) {
+    dist_->allreduceSum(v, 2);
+    gid = dist_->comm().allreduce(id_sum, comm::Op::Sum);
+  }
+  const long gcount = static_cast<long>(v[0] + 0.5);
+  const double gmass = v[1];
+
+  if (expected_count_ < 0) {
+    // First validated step: capture the baselines. Every step-path operation
+    // conserves count, total mass and the id population (star formation
+    // converts in place; captures freeze copies; predictions preserve ids
+    // and masses bitwise), so later deviation is corruption.
+    expected_count_ = gcount;
+    expected_mass_ = gmass;
+    expected_id_sum_ = gid;
+  } else if (err.empty()) {
+    if (gcount != expected_count_) {
+      err = "global particle count changed: " + std::to_string(expected_count_) +
+            " -> " + std::to_string(gcount);
+    } else if (gid != expected_id_sum_) {
+      err = "global id population changed (id checksum mismatch)";
+    } else if (std::abs(gmass - expected_mass_) >
+               1e-10 * std::max(1.0, std::abs(expected_mass_))) {
+      err = "global mass drifted: " + std::to_string(expected_mass_) + " -> " +
+            std::to_string(gmass);
+    }
+  }
+
+  // The trip decision is collective: either every rank proceeds to the
+  // (collective) post-mortem checkpoint and throws, or none does — a locally
+  // detected fault can never strand peers inside a collective.
+  int tripped = err.empty() ? 0 : 1;
+  if (dist_) tripped = dist_->comm().allreduce(tripped, comm::Op::Max);
+  if (tripped == 0) return;
+
+  if (err.empty()) err = "a peer rank failed step validation";
+  const int rank = dist_ ? dist_->comm().rank() : 0;
+  std::string diag = "step validation failed at step " + std::to_string(step_) +
+                     " on rank " + std::to_string(rank) + ": " + err;
+  if (!cfg_.abort_checkpoint_path.empty()) {
+    try {
+      io::writeCheckpoint(cfg_.abort_checkpoint_path, *this);
+      diag += " [post-mortem checkpoint: " + cfg_.abort_checkpoint_path + "]";
+    } catch (const std::exception& e) {
+      diag += std::string(" [post-mortem checkpoint failed: ") + e.what() + "]";
+    }
+  }
+  throw ValidationError(diag);
+}
+
+namespace {
+
+constexpr std::uint32_t kStateVersion = 1;
+
+void putConfig(io::ByteWriter& w, const SimulationConfig& c) {
+  w.putF64(c.dt_global);
+  w.putBool(c.use_surrogate);
+  w.putBool(c.adaptive_timestep);
+  w.putF64(c.cfl_dt_min);
+  w.putBool(c.hierarchical_timestep);
+  w.putI32(c.max_rung);
+  w.putF64(c.eta_acc);
+  w.putBool(c.timestep_limiter);
+  w.putF64(c.rung_safety);
+  w.putF64(c.sn_box_size);
+  w.putF64(c.surrogate_horizon);
+  w.putI64(c.return_interval);
+  w.putI32(c.n_pool_nodes);
+  w.putU8(static_cast<std::uint8_t>(c.kernel_isa));
+  w.putF64(c.gravity.G);
+  w.putF64(c.gravity.theta);
+  w.putI32(c.gravity.group_size);
+  w.putI32(c.gravity.leaf_size);
+  w.putU8(static_cast<std::uint8_t>(c.gravity.kernel));
+  w.putU8(static_cast<std::uint8_t>(c.gravity.isa));
+  w.putU8(static_cast<std::uint8_t>(c.sph.kernel.type));
+  w.putI32(c.sph.n_ngb);
+  w.putF64(c.sph.alpha_visc);
+  w.putF64(c.sph.beta_visc);
+  w.putF64(c.sph.cfl);
+  w.putI32(c.sph.group_size);
+  w.putI32(c.sph.leaf_size);
+  w.putI32(c.sph.max_h_iterations);
+  w.putF64(c.sph.h_tolerance);
+  w.putU8(static_cast<std::uint8_t>(c.sph.isa));
+  w.putF64(c.star_formation.rho_threshold);
+  w.putF64(c.star_formation.temp_threshold);
+  w.putF64(c.star_formation.efficiency);
+  w.putF64(c.star_formation.mu);
+  w.putF64(c.cooling.temp_floor);
+  w.putF64(c.cooling.temp_ceil);
+  w.putF64(c.cooling.heating_gamma);
+  w.putF64(c.cooling.mu);
+  w.putBool(c.enable_star_formation);
+  w.putBool(c.enable_cooling);
+  w.putF64(c.feedback_radius);
+  w.putBool(c.validate_steps);
+  w.putString(c.abort_checkpoint_path);
+  w.putU64(c.seed);
+}
+
+SimulationConfig getConfig(io::ByteReader& r) {
+  SimulationConfig c;
+  c.dt_global = r.getF64();
+  c.use_surrogate = r.getBool();
+  c.adaptive_timestep = r.getBool();
+  c.cfl_dt_min = r.getF64();
+  c.hierarchical_timestep = r.getBool();
+  c.max_rung = r.getI32();
+  c.eta_acc = r.getF64();
+  c.timestep_limiter = r.getBool();
+  c.rung_safety = r.getF64();
+  c.sn_box_size = r.getF64();
+  c.surrogate_horizon = r.getF64();
+  c.return_interval = r.getI64();
+  c.n_pool_nodes = r.getI32();
+  c.kernel_isa = static_cast<pikg::Isa>(r.getU8());
+  c.gravity.G = r.getF64();
+  c.gravity.theta = r.getF64();
+  c.gravity.group_size = r.getI32();
+  c.gravity.leaf_size = r.getI32();
+  c.gravity.kernel = static_cast<gravity::GravityParams::Kernel>(r.getU8());
+  c.gravity.isa = static_cast<pikg::Isa>(r.getU8());
+  c.sph.kernel.type = static_cast<sph::KernelType>(r.getU8());
+  c.sph.n_ngb = r.getI32();
+  c.sph.alpha_visc = r.getF64();
+  c.sph.beta_visc = r.getF64();
+  c.sph.cfl = r.getF64();
+  c.sph.group_size = r.getI32();
+  c.sph.leaf_size = r.getI32();
+  c.sph.max_h_iterations = r.getI32();
+  c.sph.h_tolerance = r.getF64();
+  c.sph.isa = static_cast<pikg::Isa>(r.getU8());
+  c.star_formation.rho_threshold = r.getF64();
+  c.star_formation.temp_threshold = r.getF64();
+  c.star_formation.efficiency = r.getF64();
+  c.star_formation.mu = r.getF64();
+  c.cooling.temp_floor = r.getF64();
+  c.cooling.temp_ceil = r.getF64();
+  c.cooling.heating_gamma = r.getF64();
+  c.cooling.mu = r.getF64();
+  c.enable_star_formation = r.getBool();
+  c.enable_cooling = r.getBool();
+  c.feedback_radius = r.getF64();
+  c.validate_steps = r.getBool();
+  c.abort_checkpoint_path = r.getString();
+  c.seed = r.getU64();
+  return c;
+}
+
+}  // namespace
+
+void Simulation::serializeState(io::ByteWriter& w) {
+  // Detach the ghost suffix first: the serialized particle set is pure
+  // locals, and step() detaches at entry anyway, so a run that checkpoints
+  // and continues is indistinguishable from one that never did.
+  if (dist_) dist_->detachGhosts(parts_, n_local_, step_ctx_);
+
+  w.putU32(kStateVersion);
+  putConfig(w, cfg_);
+  w.putF64(t_);
+  w.putI64(step_);
+  w.putF64(last_cfl_dt_);
+  const auto rs = rng_.saveState();
+  w.putU64(rs.state);
+  w.putU64(rs.inc);
+  w.putF64(rs.cached);
+  w.putBool(rs.has_cached);
+  w.putVector(sfr_history_, [](io::ByteWriter& ww, const double& v) { ww.putF64(v); });
+  w.putVector(parts_, [](io::ByteWriter& ww, const Particle& p) {
+    io::putParticle(ww, p);
+  });
+
+  // Undelivered pool predictions. snapshotResults drains the pipeline —
+  // predictions are pure functions of their jobs, so the drained results
+  // are exactly what the continuous run would have collected later.
+  w.putBool(pool_ != nullptr);
+  if (pool_) {
+    const auto pending = pool_->snapshotResults();
+    w.putVector(pending, [](io::ByteWriter& ww,
+                            const PoolNodeScheduler::PendingResult& pr) {
+      ww.putI64(pr.release_step);
+      ww.putVector(pr.region, [](io::ByteWriter& w3, const Particle& p) {
+        io::putParticle(w3, p);
+      });
+    });
+  }
+
+  // Exchange cache + engine state: restoring these keeps the cache-reuse
+  // decisions (and with them the bitwise trajectory) identical to the
+  // continuous run even when the cache would have survived the boundary.
+  w.putBool(dist_ != nullptr);
+  if (dist_) {
+    w.putVector(step_ctx_.letImports(),
+                [](io::ByteWriter& ww, const fdps::SourceEntry& e) {
+                  io::putSourceEntry(ww, e);
+                });
+    w.putVector(step_ctx_.ghostImports(), [](io::ByteWriter& ww, const Particle& p) {
+      io::putParticle(ww, p);
+    });
+    w.putBool(step_ctx_.letValid());
+    w.putBool(step_ctx_.ghostsValid());
+    const auto es = dist_->saveState();
+    const auto put_f64 = [](io::ByteWriter& ww, const double& v) { ww.putF64(v); };
+    w.putVector(es.cuts.x, put_f64);
+    w.putVector(es.cuts.y, put_f64);
+    w.putVector(es.cuts.z, put_f64);
+    w.putVector(es.ghost_cache.ghosts, [](io::ByteWriter& ww, const Particle& p) {
+      io::putParticle(ww, p);
+    });
+    w.putVector(es.ghost_cache.export_idx,
+                [](io::ByteWriter& ww, const std::vector<std::uint32_t>& v) {
+                  ww.putVector(v, [](io::ByteWriter& w3, const std::uint32_t& u) {
+                    w3.putU32(u);
+                  });
+                });
+    w.putVector(es.ghost_cache.import_counts,
+                [](io::ByteWriter& ww, const std::size_t& s) {
+                  ww.putU64(static_cast<std::uint64_t>(s));
+                });
+    w.putF64(es.ghost_cache.exported_reach);
+    w.putF64(es.drift_accum);
+    w.putBool(es.dirty_local);
+  }
+}
+
+void Simulation::restoreState(io::ByteReader& r) {
+  const auto version = r.getU32();
+  if (version != kStateVersion) {
+    throw std::runtime_error("checkpoint: unsupported state version " +
+                             std::to_string(version));
+  }
+  SimulationConfig saved = getConfig(r);
+  // The pool and the engine are construction-time objects; their shaping
+  // knobs cannot be replayed into a live instance and must match.
+  if (saved.use_surrogate != cfg_.use_surrogate) {
+    throw std::runtime_error("checkpoint: use_surrogate mismatch");
+  }
+  if (pool_ && (saved.return_interval != pool_->returnInterval() ||
+                std::max(1, saved.n_pool_nodes) != pool_->poolNodes())) {
+    throw std::runtime_error(
+        "checkpoint: pool shape mismatch (return_interval / n_pool_nodes)");
+  }
+  cfg_ = std::move(saved);
+
+  t_ = r.getF64();
+  step_ = r.getI64();
+  last_cfl_dt_ = r.getF64();
+  util::Pcg32::State rs;
+  rs.state = r.getU64();
+  rs.inc = r.getU64();
+  rs.cached = r.getF64();
+  rs.has_cached = r.getBool();
+  rng_.restoreState(rs);
+  sfr_history_ =
+      r.getVector<double>([](io::ByteReader& rr) { return rr.getF64(); });
+  parts_ = r.getVector<Particle>([](io::ByteReader& rr) {
+    return io::getParticle(rr);
+  });
+  n_local_ = parts_.size();
+  id_index_valid_ = false;
+  stats_ = StepStats{};
+  wake_requests_.clear();
+  // Conservation baselines recapture lazily: every quantity they track is
+  // conserved, so recomputing from the restored state is identical.
+  expected_count_ = -1;
+
+  const bool had_pool = r.getBool();
+  if (had_pool != (pool_ != nullptr)) {
+    throw std::runtime_error("checkpoint: pool presence mismatch");
+  }
+  if (pool_) {
+    auto pending = r.getVector<PoolNodeScheduler::PendingResult>(
+        [](io::ByteReader& rr) {
+          PoolNodeScheduler::PendingResult pr;
+          pr.release_step = rr.getI64();
+          pr.region = rr.getVector<Particle>([](io::ByteReader& r3) {
+            return io::getParticle(r3);
+          });
+          return pr;
+        });
+    pool_->restoreResults(std::move(pending));
+    fallback_baseline_ = pool_->jobsFallback();
+  }
+
+  const bool had_engine = r.getBool();
+  if (had_engine != (dist_ != nullptr)) {
+    throw std::runtime_error("checkpoint: distributed-engine presence mismatch");
+  }
+  if (dist_) {
+    auto let = r.getVector<fdps::SourceEntry>([](io::ByteReader& rr) {
+      return io::getSourceEntry(rr);
+    });
+    auto ghosts = r.getVector<Particle>([](io::ByteReader& rr) {
+      return io::getParticle(rr);
+    });
+    const bool let_valid = r.getBool();
+    const bool ghosts_valid = r.getBool();
+    step_ctx_.restoreExchangeCache(std::move(let), std::move(ghosts), let_valid,
+                                   ghosts_valid);
+    const auto get_f64 = [](io::ByteReader& rr) { return rr.getF64(); };
+    DistributedEngine::EngineState es;
+    es.cuts.x = r.getVector<double>(get_f64);
+    es.cuts.y = r.getVector<double>(get_f64);
+    es.cuts.z = r.getVector<double>(get_f64);
+    es.ghost_cache.ghosts = r.getVector<Particle>([](io::ByteReader& rr) {
+      return io::getParticle(rr);
+    });
+    es.ghost_cache.export_idx = r.getVector<std::vector<std::uint32_t>>(
+        [](io::ByteReader& rr) {
+          return rr.getVector<std::uint32_t>(
+              [](io::ByteReader& r3) { return r3.getU32(); });
+        });
+    es.ghost_cache.import_counts = r.getVector<std::size_t>(
+        [](io::ByteReader& rr) { return static_cast<std::size_t>(rr.getU64()); });
+    es.ghost_cache.exported_reach = r.getF64();
+    es.drift_accum = r.getF64();
+    es.dirty_local = r.getBool();
+    dist_->restoreState(std::move(es));
+  }
+
+  // Tree caches rebuild from the restored positions (invalidate touches the
+  // tree cache only — the exchange-cache flags restored above survive).
+  step_ctx_.invalidate();
 }
 
 }  // namespace asura::core

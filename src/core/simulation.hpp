@@ -106,6 +106,8 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -120,9 +122,24 @@
 #include "util/histogram.hpp"
 #include "util/timer.hpp"
 
+namespace asura::io {
+class ByteWriter;
+class ByteReader;
+}  // namespace asura::io
+
 namespace asura::core {
 
 class DistributedEngine;
+
+/// Thrown by the post-step run-integrity validator (cfg.validate_steps)
+/// when a step published non-finite particle state or broke the global
+/// mass/count/id conservation invariants. The message carries the step,
+/// rank and the violated quantity; if cfg.abort_checkpoint_path is set, a
+/// post-mortem checkpoint was written before the throw.
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Number of representable rungs: rung k in [0, kMaxRungs) has
 /// dt = dt_global / 2^k.
@@ -186,6 +203,16 @@ struct SimulationConfig {
   bool enable_cooling = true;
   double feedback_radius = 2.0;  ///< pc, conventional direct-injection radius
 
+  // --- run integrity ---
+  /// Run the cheap post-step validator: finite positions/velocities/energies
+  /// on every local, plus global particle-count, mass and id conservation
+  /// (collective when distributed). A violation throws ValidationError.
+  bool validate_steps = false;
+  /// When the validator trips and this is non-empty, a post-mortem
+  /// checkpoint of the (corrupt) state is written here before the throw so
+  /// the failure can be inspected offline.
+  std::string abort_checkpoint_path;
+
   std::uint64_t seed = 12345;
 };
 
@@ -194,6 +221,10 @@ struct StepStats {
   int regions_sent = 0;
   int regions_received = 0;
   int particles_replaced = 0;
+  /// Pool jobs (completed since the last step) whose prediction came from
+  /// the fallback backend or the identity last resort instead of the primary
+  /// surrogate — the graceful-degradation visibility counter.
+  int surrogate_fallbacks = 0;
   int stars_formed = 0;
   double dt_used = 0.0;
   /// Run-level PIKG backend resolution for this step (kernel_isa after
@@ -320,6 +351,30 @@ class Simulation {
   [[nodiscard]] std::vector<double> columnDensityMap(int axis, int nx, int ny,
                                                      double half_extent) const;
 
+  // --- checkpoint / restart -------------------------------------------------
+  // The byte-level container (file header, per-rank gather, CRC framing)
+  // lives in io/checkpoint.hpp; these two methods (de)serialize ONE rank's
+  // complete restart state. Call between steps only. serializeState drains
+  // the pool pipeline and detaches ghosts first — both are equivalent
+  // transformations (predictions are pure functions of their jobs, and
+  // step() re-detaches at entry), so a run that checkpoints and continues
+  // stays bitwise identical to one that never checkpointed.
+
+  /// Serialize this rank's full restart state: config, clocks, rng stream,
+  /// locally owned particles, undelivered pool predictions, the exchange
+  /// cache (LET imports + coasted ghosts + validity flags) and the
+  /// distributed engine state (domain cuts, ghost-export lists, drift
+  /// accumulator). Not const: ghosts detach and the pool drains.
+  void serializeState(io::ByteWriter& w);
+
+  /// Inverse of serializeState. The Simulation must have been constructed
+  /// with a compatible shape (same use_surrogate / return_interval /
+  /// n_pool_nodes, engine attached iff the checkpoint had one) — the pool
+  /// and engine are construction-time objects; everything else is
+  /// overwritten from the checkpoint. Throws std::runtime_error on any
+  /// mismatch or malformed payload.
+  void restoreState(io::ByteReader& r);
+
  private:
   /// Per-pass parameter sets with the effective PIKG backend resolved: an
   /// explicitly pinned params.isa (non-Auto) wins, otherwise the run-level
@@ -388,6 +443,16 @@ class Simulation {
   /// Id -> index lookup, rebuilt lazily after the particle array changes
   /// (add/reorder) instead of on every surrogate receive.
   const std::unordered_map<std::uint64_t, std::size_t>& idIndex();
+  /// Reject configurations step() cannot integrate (non-positive dt/eta/box
+  /// sizes, out-of-range rungs, a pinned kernel ISA the host cannot run)
+  /// with a descriptive std::invalid_argument at step entry — before any
+  /// collective, so all ranks throw symmetrically.
+  void validateConfig() const;
+  /// Post-step run-integrity validator (cfg_.validate_steps): finite local
+  /// state plus global count/mass/id conservation. Collective when
+  /// distributed (the trip decision is an allreduce, so either every rank
+  /// throws or none does — no rank is left blocked in a collective).
+  void validateStepInvariants();
 
   std::vector<fdps::Particle> parts_;
   /// Owned-particle count; parts_[n_local_, end) is the attached ghost
@@ -409,6 +474,17 @@ class Simulation {
   /// CFL minimum recorded by the most recent hydro force pass — replaces
   /// the adaptive baseline's separate full-particle cflTimestep sweep.
   double last_cfl_dt_ = std::numeric_limits<double>::infinity();
+  /// Pool fallback counter at the end of the previous step; the per-step
+  /// StepStats::surrogate_fallbacks is the delta. Monotonic and run-local
+  /// (not checkpointed — restore re-baselines from the live pool).
+  std::uint64_t fallback_baseline_ = 0;
+  /// Conservation baselines of the post-step validator, captured lazily at
+  /// its first run (every step-path operation conserves global count, total
+  /// mass and the id population, so any later deviation is corruption).
+  /// Not checkpointed: recapturing from the restored state is identical.
+  long expected_count_ = -1;
+  double expected_mass_ = 0.0;
+  std::uint64_t expected_id_sum_ = 0;
   /// Active-set index scratch reused across sub-steps.
   std::vector<std::uint32_t> active_idx_, active_gas_idx_;
   /// Per-particle step bookkeeping of the sub-step loop, in sub-units of

@@ -1,6 +1,9 @@
 #include "core/surrogate.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
+#include <unordered_map>
 
 #include "sph/kernels.hpp"
 
@@ -30,6 +33,41 @@ std::uint64_t jobStream(const std::vector<Particle>& region, const Vec3d& sn_pos
 }
 
 }  // namespace
+
+std::string validatePrediction(const std::vector<Particle>& input,
+                               const std::vector<Particle>& output) {
+  if (output.size() != input.size()) {
+    return "count mismatch: " + std::to_string(input.size()) + " in, " +
+           std::to_string(output.size()) + " out";
+  }
+  // Id multiset + per-id bitwise mass (region ids are unique — capture
+  // freezes a particle before it can join a second region — so a map by id
+  // covers the multiset check).
+  std::unordered_map<std::uint64_t, double> in_mass;
+  in_mass.reserve(input.size());
+  for (const auto& p : input) in_mass.emplace(p.id, p.mass);
+  for (const auto& q : output) {
+    const auto it = in_mass.find(q.id);
+    if (it == in_mass.end()) {
+      return "id " + std::to_string(q.id) + " not in the input region (or duplicated)";
+    }
+    if (std::bit_cast<std::uint64_t>(q.mass) !=
+        std::bit_cast<std::uint64_t>(it->second)) {
+      return "mass of id " + std::to_string(q.id) + " changed (" +
+             std::to_string(it->second) + " -> " + std::to_string(q.mass) + ")";
+    }
+    in_mass.erase(it);  // catch duplicated output ids
+    const bool finite = std::isfinite(q.pos.x) && std::isfinite(q.pos.y) &&
+                        std::isfinite(q.pos.z) && std::isfinite(q.vel.x) &&
+                        std::isfinite(q.vel.y) && std::isfinite(q.vel.z) &&
+                        std::isfinite(q.u) && std::isfinite(q.rho) &&
+                        std::isfinite(q.h);
+    if (!finite) return "non-finite state on id " + std::to_string(q.id);
+    if (!(q.u > 0.0)) return "non-positive u on id " + std::to_string(q.id);
+    if (!(q.h > 0.0)) return "non-positive h on id " + std::to_string(q.id);
+  }
+  return {};
+}
 
 std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region,
                                                     const Vec3d& sn_pos, double energy,

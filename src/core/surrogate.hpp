@@ -86,6 +86,16 @@ class UNetSurrogateBackend final : public SurrogateBackend {
   std::uint64_t seed_;  ///< per-job rng streams derive from this (no shared Pcg32)
 };
 
+/// Check a backend's output against the prediction contract: exactly one
+/// particle per input, the same id multiset, bitwise-identical per-id
+/// masses, and finite post-SN state (pos/vel/u/rho/h, with u and h positive).
+/// Returns an empty string when the prediction is acceptable, otherwise a
+/// one-line description of the first violation found. The pool scheduler
+/// runs this on every completed job and degrades to the fallback backend on
+/// a non-empty result.
+[[nodiscard]] std::string validatePrediction(const std::vector<Particle>& input,
+                                             const std::vector<Particle>& output);
+
 /// No bypass at all (conventional ablation).
 class NullBackend final : public SurrogateBackend {
  public:

@@ -234,6 +234,19 @@ class StepContext {
   /// along the remembered export index lists (no selection, no reach
   /// allgather, no exportLet walk).
   void noteGhostValueRefresh() { ++ghost_refreshes_step_; }
+
+  /// Checkpoint restore: install previously exchanged import sets with their
+  /// validity flags, without counting an exchange (nothing was shipped). The
+  /// LET epoch still bumps so a cached gravity tree can never serve the
+  /// pre-restore import set.
+  void restoreExchangeCache(std::vector<SourceEntry> let, std::vector<Particle> ghosts,
+                            bool let_valid, bool ghosts_valid) {
+    let_imports_ = std::move(let);
+    ghost_imports_ = std::move(ghosts);
+    let_valid_ = let_valid;
+    ghosts_valid_ = ghosts_valid;
+    ++let_epoch_;
+  }
   void noteGhostReuse() { ++ghost_reuses_step_; }
 
   [[nodiscard]] int letExchangesThisStep() const { return let_exchanges_step_; }

@@ -51,6 +51,20 @@ class DomainDecomposer {
 
   static constexpr double kHuge = 1.0e30;
 
+  /// Snapshot of the cut hierarchy (checkpoint support). Restoring the cuts
+  /// of a previous run makes ownerOf() bitwise identical to that run without
+  /// re-sampling — re-decomposition would consume rng state and shift every
+  /// downstream migration decision.
+  struct Cuts {
+    std::vector<double> x, y, z;
+  };
+  [[nodiscard]] Cuts saveCuts() const { return {xcuts_, ycuts_, zcuts_}; }
+  void restoreCuts(Cuts cuts) {
+    xcuts_ = std::move(cuts.x);
+    ycuts_ = std::move(cuts.y);
+    zcuts_ = std::move(cuts.z);
+  }
+
   /// Ship every particle to its owner; returns the new local population.
   /// Uses the 3-phase torus alltoallv when `torus` is non-null.
   [[nodiscard]] std::vector<Particle> exchange(comm::Comm& comm,

@@ -1,0 +1,212 @@
+#include "io/checkpoint.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "core/simulation.hpp"
+#include "io/serialize.hpp"
+
+namespace asura::io {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'S', 'U', 'R', 'A', 'C', 'K', 'P'};
+constexpr std::uint32_t kFileVersion = 1;
+
+std::vector<char> readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto n = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::vector<char> bytes(n);
+  if (n > 0) in.read(bytes.data(), static_cast<std::streamsize>(n));
+  if (!in) throw std::runtime_error("checkpoint: short read on " + path);
+  return bytes;
+}
+
+/// Parse the fixed-size header, leaving `r` positioned at the first rank
+/// section.
+CheckpointInfo parseHeader(ByteReader& r, const std::string& path) {
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.getU8());
+  for (int i = 0; i < 8; ++i) {
+    if (magic[i] != kMagic[i]) {
+      throw std::runtime_error("checkpoint: bad magic in " + path +
+                               " (not a checkpoint file?)");
+    }
+  }
+  CheckpointInfo info;
+  info.version = r.getU32();
+  if (info.version != kFileVersion) {
+    throw std::runtime_error("checkpoint: unsupported file version " +
+                             std::to_string(info.version) + " in " + path);
+  }
+  info.nranks = r.getI32();
+  if (info.nranks <= 0) {
+    throw std::runtime_error("checkpoint: invalid rank count in " + path);
+  }
+  info.step = static_cast<long>(r.getI64());
+  info.time = std::bit_cast<double>(r.getU64());
+  return info;
+}
+
+/// Extract and CRC-check rank `want`'s payload from the file bytes.
+std::vector<char> extractSection(const std::vector<char>& file, int want,
+                                 const std::string& path) {
+  ByteReader r(file.data(), file.size());
+  const auto info = parseHeader(r, path);
+  if (want >= info.nranks) {
+    throw std::runtime_error("checkpoint: " + path + " holds " +
+                             std::to_string(info.nranks) +
+                             " rank sections, need rank " +
+                             std::to_string(want));
+  }
+  for (int rank = 0; rank <= want; ++rank) {
+    const auto len = r.getU64();
+    if (len > r.remaining()) {
+      throw std::runtime_error("checkpoint: truncated rank section in " + path);
+    }
+    std::vector<char> payload;
+    if (rank == want) {
+      payload.resize(len);
+      // ByteReader has no bulk-read accessor by design (every consumer is
+      // field-wise) — pull the section through getU8.
+      for (auto& c : payload) c = static_cast<char>(r.getU8());
+    } else {
+      for (std::uint64_t i = 0; i < len; ++i) (void)r.getU8();
+    }
+    const auto stored_crc = r.getU32();
+    if (rank == want) {
+      const auto crc = crc32(payload.data(), payload.size());
+      if (crc != stored_crc) {
+        throw std::runtime_error("checkpoint: CRC mismatch in rank " +
+                                 std::to_string(rank) + " section of " + path);
+      }
+      return payload;
+    }
+  }
+  throw std::logic_error("checkpoint: unreachable");
+}
+
+}  // namespace
+
+void writeCheckpoint(const std::string& path, core::Simulation& sim) {
+  ByteWriter w;
+  sim.serializeState(w);
+  std::vector<char> blob = w.take();
+
+  auto* dist = sim.distributed();
+  const int rank = dist ? dist->comm().rank() : 0;
+  const int nranks = dist ? dist->comm().size() : 1;
+
+  // Gather every rank's payload; all ranks hold the full set afterwards
+  // (allgatherv keeps the collective machinery simple and lets any rank act
+  // as the writer if rank 0's I/O ever needs to move).
+  std::vector<std::vector<char>> sections;
+  if (dist) {
+    sections = dist->comm().allgatherv(blob);
+  } else {
+    sections.push_back(std::move(blob));
+  }
+
+  if (rank == 0) {
+    ByteWriter out;
+    for (char c : kMagic) out.putU8(static_cast<std::uint8_t>(c));
+    out.putU32(kFileVersion);
+    out.putI32(nranks);
+    out.putI64(sim.stepCount());
+    out.putU64(std::bit_cast<std::uint64_t>(sim.time()));
+    for (const auto& sec : sections) {
+      out.putU64(sec.size());
+      out.putBytes(sec.data(), sec.size());
+      out.putU32(crc32(sec.data(), sec.size()));
+    }
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("checkpoint: cannot write " + path);
+    const auto& bytes = out.bytes();
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f) throw std::runtime_error("checkpoint: write failed on " + path);
+  }
+
+  // Peers wait for the file to exist before returning: a caller that
+  // checkpoints and immediately restarts must never race the writer.
+  if (dist) dist->comm().barrier();
+}
+
+void restoreCheckpoint(const std::string& path, core::Simulation& sim) {
+  auto* dist = sim.distributed();
+  const int rank = dist ? dist->comm().rank() : 0;
+
+  // Rank 0 reads, everyone receives the full file bytes. Broadcasting the
+  // whole file (rather than scattering sections) keeps the hot path one
+  // collective and lets each rank run its own CRC check.
+  std::vector<char> file;
+  std::string read_err;
+  if (rank == 0) {
+    try {
+      file = readWholeFile(path);
+    } catch (const std::exception& e) {
+      read_err = e.what();
+    }
+  }
+  if (dist) {
+    // A read failure must not strand peers in bcast: ship the (possibly
+    // empty) buffer regardless and re-raise the error collectively.
+    int failed = read_err.empty() ? 0 : 1;
+    failed = dist->comm().allreduce(failed, comm::Op::Max);
+    if (failed) {
+      throw std::runtime_error(read_err.empty()
+                                   ? "checkpoint: read failed on rank 0"
+                                   : read_err);
+    }
+    file = dist->comm().bcast(std::move(file), 0);
+  } else if (!read_err.empty()) {
+    throw std::runtime_error(read_err);
+  }
+
+  {
+    ByteReader hdr(file.data(), file.size());
+    const auto info = parseHeader(hdr, path);
+    const int nranks = dist ? dist->comm().size() : 1;
+    if (info.nranks != nranks) {
+      throw std::runtime_error(
+          "checkpoint: " + path + " was written by " +
+          std::to_string(info.nranks) + " ranks, this run has " +
+          std::to_string(nranks));
+    }
+  }
+
+  const auto payload = extractSection(file, rank, path);
+  ByteReader r(payload.data(), payload.size());
+  sim.restoreState(r);
+  if (r.remaining() != 0) {
+    throw std::runtime_error("checkpoint: trailing bytes in rank " +
+                             std::to_string(rank) + " section of " + path);
+  }
+  if (dist) dist->comm().barrier();
+}
+
+CheckpointInfo readCheckpointInfo(const std::string& path) {
+  const auto file = readWholeFile(path);
+  ByteReader r(file.data(), file.size());
+  auto info = parseHeader(r, path);
+  // Tally section sizes (and implicitly check the framing).
+  for (int rank = 0; rank < info.nranks; ++rank) {
+    const auto len = r.getU64();
+    if (len > r.remaining()) {
+      throw std::runtime_error("checkpoint: truncated rank section in " + path);
+    }
+    info.payload_bytes += len;
+    for (std::uint64_t i = 0; i < len; ++i) (void)r.getU8();
+    (void)r.getU32();
+  }
+  return info;
+}
+
+}  // namespace asura::io

@@ -1,0 +1,109 @@
+#pragma once
+/// \file particle_codec.hpp
+/// \brief Field-wise byte codecs for the checkpoint-relevant POD types.
+///
+/// Checkpoints must be deterministic down to the file bytes (the restart
+/// parity tests CRC them), so structs are never memcpy'd whole: padding
+/// bytes between fields are indeterminate and would make two identical
+/// states hash differently. Every field is written individually through the
+/// ByteWriter primitives instead, in declaration order.
+
+#include "fdps/particle.hpp"
+#include "fdps/tree.hpp"
+#include "io/serialize.hpp"
+
+namespace asura::io {
+
+inline void putVec3(ByteWriter& w, const util::Vec3d& v) {
+  w.putF64(v.x);
+  w.putF64(v.y);
+  w.putF64(v.z);
+}
+
+inline util::Vec3d getVec3(ByteReader& r) {
+  util::Vec3d v;
+  v.x = r.getF64();
+  v.y = r.getF64();
+  v.z = r.getF64();
+  return v;
+}
+
+inline void putParticle(ByteWriter& w, const fdps::Particle& p) {
+  w.putU64(p.id);
+  w.putU8(static_cast<std::uint8_t>(p.type));
+  w.putF64(p.mass);
+  putVec3(w, p.pos);
+  putVec3(w, p.vel);
+  putVec3(w, p.acc);
+  w.putF64(p.pot);
+  w.putF64(p.eps);
+  w.putF64(p.u);
+  w.putF64(p.u_pred);
+  w.putF64(p.du_dt);
+  w.putF64(p.h);
+  w.putF64(p.rho);
+  w.putF64(p.pres);
+  w.putF64(p.cs);
+  w.putF64(p.divv);
+  w.putF64(p.curlv);
+  w.putF64(p.vsig);
+  w.putI32(p.nngb);
+  w.putF64(p.t_form);
+  w.putF64(p.t_sn);
+  w.putF64(p.star_mass);
+  w.putF64(p.metal);
+  w.putU8(p.frozen);
+  w.putU8(p.rung);
+  w.putU8(p.rung_ngb);
+}
+
+inline fdps::Particle getParticle(ByteReader& r) {
+  fdps::Particle p;
+  p.id = r.getU64();
+  p.type = static_cast<fdps::Species>(r.getU8());
+  p.mass = r.getF64();
+  p.pos = getVec3(r);
+  p.vel = getVec3(r);
+  p.acc = getVec3(r);
+  p.pot = r.getF64();
+  p.eps = r.getF64();
+  p.u = r.getF64();
+  p.u_pred = r.getF64();
+  p.du_dt = r.getF64();
+  p.h = r.getF64();
+  p.rho = r.getF64();
+  p.pres = r.getF64();
+  p.cs = r.getF64();
+  p.divv = r.getF64();
+  p.curlv = r.getF64();
+  p.vsig = r.getF64();
+  p.nngb = r.getI32();
+  p.t_form = r.getF64();
+  p.t_sn = r.getF64();
+  p.star_mass = r.getF64();
+  p.metal = r.getF64();
+  p.frozen = r.getU8();
+  p.rung = r.getU8();
+  p.rung_ngb = r.getU8();
+  return p;
+}
+
+inline void putSourceEntry(ByteWriter& w, const fdps::SourceEntry& e) {
+  putVec3(w, e.pos);
+  w.putF64(e.mass);
+  w.putF64(e.eps);
+  w.putF64(e.h);
+  w.putU32(e.idx);
+}
+
+inline fdps::SourceEntry getSourceEntry(ByteReader& r) {
+  fdps::SourceEntry e;
+  e.pos = getVec3(r);
+  e.mass = r.getF64();
+  e.eps = r.getF64();
+  e.h = r.getF64();
+  e.idx = r.getU32();
+  return e;
+}
+
+}  // namespace asura::io

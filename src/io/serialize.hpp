@@ -1,0 +1,153 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Deterministic little-endian byte (de)serialization for the
+/// checkpoint subsystem.
+///
+/// Every value is written field by field through explicit put/get calls —
+/// never by memcpy'ing whole structs — because struct padding bytes are
+/// indeterminate and would make the checkpoint file (and its CRC) differ
+/// between two bitwise-identical simulation states. Doubles travel as their
+/// IEEE-754 bit pattern (std::bit_cast), so NaN payloads and signed zeros
+/// round-trip exactly.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace asura::io {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-free bitwise
+/// form: the checkpoint sections are small enough that simplicity wins.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void putU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void putU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void putU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void putI32(std::int32_t v) { putU32(static_cast<std::uint32_t>(v)); }
+  void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+  void putBool(bool v) { putU8(v ? 1 : 0); }
+  void putF64(double v) { putU64(std::bit_cast<std::uint64_t>(v)); }
+
+  void putBytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void putString(const std::string& s) {
+    putU64(s.size());
+    putBytes(s.data(), s.size());
+  }
+
+  template <class T, class Put>
+  void putVector(const std::vector<T>& v, Put&& put_one) {
+    putU64(v.size());
+    for (const auto& e : v) put_one(*this, e);
+  }
+
+  [[nodiscard]] const std::vector<char>& bytes() const { return buf_; }
+  [[nodiscard]] std::vector<char> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Bounds-checked little-endian byte source; any underrun throws instead of
+/// reading garbage (a truncated checkpoint must fail loudly).
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t n) : data_(data), n_(n) {}
+
+  std::uint8_t getU8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t getU32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t getU64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  std::int32_t getI32() { return static_cast<std::int32_t>(getU32()); }
+  std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+  bool getBool() { return getU8() != 0; }
+  double getF64() { return std::bit_cast<double>(getU64()); }
+
+  std::string getString() {
+    const auto n = getU64();
+    need(n);
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <class T, class Get>
+  std::vector<T> getVector(Get&& get_one) {
+    const auto n = getU64();
+    // Sanity bound: a corrupt length must not drive a multi-GB allocation
+    // before the element reads run into the underrun check.
+    if (n > n_ - pos_) {
+      throw std::runtime_error("checkpoint: vector length exceeds payload");
+    }
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_one(*this));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return n_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (n_ - pos_ < n) throw std::runtime_error("checkpoint: truncated payload");
+  }
+
+  const char* data_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace asura::io

@@ -75,6 +75,27 @@ class Pcg32 {
     return {s * std::cos(phi), s * std::sin(phi), c};
   }
 
+  /// Raw generator state for checkpointing. The cached Box-Muller variate is
+  /// part of the state: dropping it would desynchronize the normal() stream
+  /// of a restored run from the continuous one after an odd draw count.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    double cached = 0.0;
+    bool has_cached = false;
+  };
+
+  [[nodiscard]] State saveState() const {
+    return {state_, inc_, cached_, has_cached_};
+  }
+
+  void restoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   std::uint64_t state_ = 0;
   std::uint64_t inc_ = 0;

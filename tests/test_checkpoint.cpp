@@ -1,0 +1,381 @@
+// Tests for deterministic checkpoint/restart: restart-vs-continuous bitwise
+// parity (serial and 8 ranks, global and hierarchical integrators, restart
+// mid-SN-campaign with undelivered pool predictions), fault-injected rank
+// kill + resume, CRC corruption detection, and the header reader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/distributed.hpp"
+#include "core/simulation.hpp"
+#include "ic_fixtures.hpp"
+#include "io/checkpoint.hpp"
+#include "io/serialize.hpp"
+
+namespace {
+
+using asura::comm::Cluster;
+using asura::comm::Comm;
+using asura::comm::FaultPlan;
+using asura::comm::RankKilled;
+using asura::core::blockPartition;
+using asura::core::DistributedConfig;
+using asura::core::DistributedEngine;
+using asura::core::Simulation;
+using asura::core::SimulationConfig;
+using asura::fdps::Particle;
+using asura::testing::blastwaveIc;
+using asura::testing::gasBall;
+
+SimulationConfig quietConfig() {
+  SimulationConfig cfg;
+  cfg.enable_star_formation = false;
+  cfg.enable_cooling = false;
+  cfg.use_surrogate = false;
+  cfg.sph.n_ngb = 24;
+  cfg.dt_global = 0.005;
+  return cfg;
+}
+
+DistributedConfig engineConfig() {
+  DistributedConfig dcfg;
+  dcfg.skin = 1.0;
+  return dcfg;
+}
+
+/// The full serialized state — the strongest possible equality: two
+/// simulations whose bytes match are bitwise-identical in every particle
+/// field, rng stream, counter and cache the restart contract covers.
+std::vector<char> stateBytes(Simulation& sim) {
+  asura::io::ByteWriter w;
+  sim.serializeState(w);
+  return w.take();
+}
+
+std::string tmpPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// Serial round trips
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, SerialRestartMatchesContinuousBitwiseGlobal) {
+  const auto ic = gasBall(400, 10.0, 1.0, 42, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_serial_global.bin");
+
+  // Reference: 4 straight steps, never checkpointed.
+  Simulation ref(ic, cfg);
+  for (int s = 0; s < 4; ++s) ref.step();
+  const auto ref_bytes = stateBytes(ref);
+
+  // Checkpointing run: the mid-run write must not perturb the trajectory.
+  Simulation writer(ic, cfg);
+  writer.step();
+  writer.step();
+  asura::io::writeCheckpoint(path, writer);
+  writer.step();
+  writer.step();
+  EXPECT_EQ(stateBytes(writer), ref_bytes)
+      << "writing a checkpoint changed the continuous trajectory";
+
+  // Restarted run: fresh object, state from disk, same remaining steps.
+  Simulation resumed(ic, cfg);
+  asura::io::restoreCheckpoint(path, resumed);
+  EXPECT_EQ(resumed.stepCount(), 2);
+  resumed.step();
+  resumed.step();
+  EXPECT_EQ(stateBytes(resumed), ref_bytes)
+      << "restart diverged from the continuous run";
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SerialRestartMidSnCampaignHierarchical) {
+  // The checkpoint lands *between* an SN capture and its prediction
+  // delivery: the undelivered pool result must ride along in the file and
+  // land on the restarted run at the same step with the same bytes.
+  const auto ic = blastwaveIc(300, 19);
+  SimulationConfig cfg = quietConfig();
+  cfg.use_surrogate = true;
+  cfg.return_interval = 3;
+  cfg.n_pool_nodes = 2;
+  cfg.sn_box_size = 10.0;
+  cfg.hierarchical_timestep = true;
+  cfg.max_rung = 4;
+  const std::string path = tmpPath("ckpt_serial_campaign.bin");
+
+  Simulation ref(ic, cfg);
+  int replaced_ref = 0;
+  for (int s = 0; s < 5; ++s) replaced_ref += ref.step().particles_replaced;
+  ASSERT_GT(replaced_ref, 0) << "fixture never delivered a prediction";
+  const auto ref_bytes = stateBytes(ref);
+
+  Simulation writer(ic, cfg);
+  writer.step();  // SN fires, region captured, job in flight
+  writer.step();
+  asura::io::writeCheckpoint(path, writer);  // delivery still 1 step away
+
+  Simulation resumed(ic, cfg);
+  asura::io::restoreCheckpoint(path, resumed);
+  int replaced_resumed = 0;
+  for (int s = 0; s < 3; ++s) replaced_resumed += resumed.step().particles_replaced;
+  EXPECT_GT(replaced_resumed, 0) << "restored run lost the pending prediction";
+  EXPECT_EQ(stateBytes(resumed), ref_bytes);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed round trips
+// ---------------------------------------------------------------------------
+
+/// Run P ranks: `pre` steps, checkpoint to `path`, `post` more steps, and
+/// return each rank's final state bytes.
+std::vector<std::vector<char>> runAndCheckpoint(const std::vector<Particle>& ic,
+                                                int P, const SimulationConfig& cfg,
+                                                const std::string& path, int pre,
+                                                int post) {
+  Cluster cluster(P);
+  std::vector<std::vector<char>> bytes(static_cast<std::size_t>(P));
+  cluster.run([&](Comm& comm) {
+    Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+    sim.attachDistributed(std::make_unique<DistributedEngine>(comm, engineConfig()));
+    for (int s = 0; s < pre; ++s) sim.step();
+    asura::io::writeCheckpoint(path, sim);
+    for (int s = 0; s < post; ++s) sim.step();
+    bytes[static_cast<std::size_t>(comm.rank())] = stateBytes(sim);
+  });
+  return bytes;
+}
+
+/// Fresh P-rank cluster: restore from `path`, run `post` steps, return each
+/// rank's final state bytes.
+std::vector<std::vector<char>> restoreAndRun(const std::vector<Particle>& ic, int P,
+                                             const SimulationConfig& cfg,
+                                             const std::string& path, int post) {
+  Cluster cluster(P);
+  std::vector<std::vector<char>> bytes(static_cast<std::size_t>(P));
+  cluster.run([&](Comm& comm) {
+    Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+    sim.attachDistributed(std::make_unique<DistributedEngine>(comm, engineConfig()));
+    asura::io::restoreCheckpoint(path, sim);
+    for (int s = 0; s < post; ++s) sim.step();
+    bytes[static_cast<std::size_t>(comm.rank())] = stateBytes(sim);
+  });
+  return bytes;
+}
+
+TEST(Checkpoint, EightRankRestartMatchesContinuousGlobal) {
+  const auto ic = gasBall(600, 10.0, 1.0, 31, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_dist_global.bin");
+  const auto continuous = runAndCheckpoint(ic, 8, cfg, path, 2, 2);
+  const auto resumed = restoreAndRun(ic, 8, cfg, path, 2);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(resumed[static_cast<std::size_t>(r)],
+              continuous[static_cast<std::size_t>(r)])
+        << "rank " << r << " diverged after restart";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EightRankRestartMatchesContinuousHierarchicalSurrogate) {
+  // Hierarchical integrator + live SN campaign at 8 ranks: rung bookkeeping,
+  // the exchange cache, the domain cuts and the pending pool results all
+  // have to survive the round trip for the bytes to match.
+  const auto ic = blastwaveIc(400, 57);
+  SimulationConfig cfg = quietConfig();
+  cfg.use_surrogate = true;
+  cfg.return_interval = 3;
+  cfg.n_pool_nodes = 1;
+  cfg.sn_box_size = 10.0;
+  cfg.hierarchical_timestep = true;
+  cfg.max_rung = 4;
+  const std::string path = tmpPath("ckpt_dist_hier.bin");
+  const auto continuous = runAndCheckpoint(ic, 8, cfg, path, 2, 3);
+  const auto resumed = restoreAndRun(ic, 8, cfg, path, 3);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(resumed[static_cast<std::size_t>(r)],
+              continuous[static_cast<std::size_t>(r)])
+        << "rank " << r << " diverged after restart";
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injected kill + resume
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, KilledRankResumesFromCheckpointBitwise) {
+  const auto ic = gasBall(400, 10.0, 1.0, 7, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_killed.bin");
+  constexpr int P = 4;
+
+  // Reference: 4 steps, no checkpoint, no faults.
+  std::vector<std::vector<char>> continuous(P);
+  {
+    Cluster cluster(P);
+    cluster.run([&](Comm& comm) {
+      Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+      sim.attachDistributed(
+          std::make_unique<DistributedEngine>(comm, engineConfig()));
+      for (int s = 0; s < 4; ++s) sim.step();
+      continuous[static_cast<std::size_t>(comm.rank())] = stateBytes(sim);
+    });
+  }
+
+  // Faulted campaign: checkpoint lands after step 2, then rank 1 is killed
+  // by the fault plan when it reports step 2 to the cluster. Every other
+  // rank unwinds via cooperative abort; the join rethrows the kill.
+  {
+    Cluster cluster(P);
+    FaultPlan plan;
+    plan.kind = FaultPlan::Kind::KillRank;
+    plan.rank = 1;
+    plan.at_step = 2;
+    cluster.setFaultPlan(plan);
+    EXPECT_THROW(cluster.run([&](Comm& comm) {
+      Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+      sim.attachDistributed(
+          std::make_unique<DistributedEngine>(comm, engineConfig()));
+      sim.step();
+      sim.step();
+      asura::io::writeCheckpoint(path, sim);
+      sim.step();  // rank 1 dies in this step's exchange
+      sim.step();
+    }),
+                 RankKilled);
+  }
+
+  // Recovery: fresh cluster, restore the survivor checkpoint, finish the
+  // campaign. The resumed trajectory must be bitwise the continuous one.
+  {
+    Cluster cluster(P);
+    cluster.run([&](Comm& comm) {
+      Simulation sim(blockPartition(ic, comm.rank(), P), cfg);
+      sim.attachDistributed(
+          std::make_unique<DistributedEngine>(comm, engineConfig()));
+      asura::io::restoreCheckpoint(path, sim);
+      EXPECT_EQ(sim.stepCount(), 2);
+      sim.step();
+      sim.step();
+      EXPECT_EQ(stateBytes(sim), continuous[static_cast<std::size_t>(comm.rank())])
+          << "rank " << comm.rank() << " diverged after crash recovery";
+    });
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption / mismatch detection
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, CorruptPayloadByteFailsCrc) {
+  const auto ic = gasBall(100, 5.0, 1.0, 3, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_corrupt.bin");
+  Simulation sim(ic, cfg);
+  sim.step();
+  asura::io::writeCheckpoint(path, sim);
+
+  // Flip one byte in the middle of the rank payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto mid = static_cast<std::streamoff>(f.tellg()) / 2;
+    f.seekg(mid);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(~c);
+    f.seekp(mid);
+    f.write(&c, 1);
+  }
+
+  Simulation fresh(ic, cfg);
+  try {
+    asura::io::restoreCheckpoint(path, fresh);
+    FAIL() << "corrupt checkpoint restored without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncatedAndNonCheckpointFilesRejected) {
+  const std::string path = tmpPath("ckpt_garbage.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "definitely not a checkpoint";
+  }
+  const auto ic = gasBall(50, 5.0, 1.0, 3, 3000.0);
+  Simulation sim(ic, quietConfig());
+  EXPECT_THROW(asura::io::restoreCheckpoint(path, sim), std::runtime_error);
+  EXPECT_THROW((void)asura::io::readCheckpointInfo(path), std::runtime_error);
+  EXPECT_THROW(asura::io::restoreCheckpoint(tmpPath("ckpt_missing.bin"), sim),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RankCountMismatchRejected) {
+  const auto ic = gasBall(100, 5.0, 1.0, 9, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_serial_1rank.bin");
+  Simulation sim(ic, cfg);
+  sim.step();
+  asura::io::writeCheckpoint(path, sim);  // 1-rank file
+
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([&](Comm& comm) {
+    Simulation s(blockPartition(ic, comm.rank(), 2), cfg);
+    s.attachDistributed(std::make_unique<DistributedEngine>(comm, engineConfig()));
+    asura::io::restoreCheckpoint(path, s);
+  }),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ConstructionShapeMismatchRejected) {
+  const auto ic = gasBall(100, 5.0, 1.0, 11, 3000.0);
+  SimulationConfig with_pool = quietConfig();
+  with_pool.use_surrogate = true;
+  with_pool.n_pool_nodes = 1;
+  const std::string path = tmpPath("ckpt_shape.bin");
+  Simulation writer(ic, with_pool);
+  writer.step();
+  asura::io::writeCheckpoint(path, writer);
+
+  // The pool is a construction-time object: a Simulation built without one
+  // cannot absorb a checkpoint that carries pending predictions.
+  Simulation no_pool(ic, quietConfig());
+  EXPECT_THROW(asura::io::restoreCheckpoint(path, no_pool), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ReadCheckpointInfoReportsHeader) {
+  const auto ic = gasBall(120, 5.0, 1.0, 13, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_info.bin");
+  Simulation sim(ic, cfg);
+  for (int s = 0; s < 3; ++s) sim.step();
+  asura::io::writeCheckpoint(path, sim);
+
+  const auto info = asura::io::readCheckpointInfo(path);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.nranks, 1);
+  EXPECT_EQ(info.step, 3);
+  EXPECT_EQ(info.time, sim.time());  // bitwise: stored as the IEEE pattern
+  EXPECT_GT(info.payload_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

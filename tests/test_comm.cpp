@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <numeric>
 #include <vector>
@@ -179,6 +180,164 @@ TEST(Comm, TrafficCountersGrow) {
   const auto t = cluster.traffic();
   EXPECT_GT(t.messages, 0u);
   EXPECT_GT(t.bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative abort: a throwing rank must never strand its peers
+// ---------------------------------------------------------------------------
+
+TEST(Comm, ExceptionWhilePeerBlockedInRecvDoesNotDeadlock) {
+  // Regression: rank 1 waits for a message rank 0 will never send because
+  // rank 0 threw first. Before the cooperative abort, run() joined rank 1
+  // forever; now the abort poisons the mailbox, rank 1 unwinds with
+  // ClusterAborted, and the join rethrows rank 0's real exception.
+  Cluster cluster(2);
+  try {
+    cluster.run([](Comm& comm) {
+      if (comm.rank() == 0) throw std::runtime_error("rank 0 died");
+      (void)comm.recv<int>(0, 99);  // never sent
+    });
+    FAIL() << "run() returned despite a rank throwing";
+  } catch (const std::runtime_error& e) {
+    // The originating error wins over the secondary ClusterAborted unwinds.
+    EXPECT_STREQ(e.what(), "rank 0 died");
+  }
+}
+
+TEST(Comm, ExceptionWhilePeersBlockedInBarrierDoesNotDeadlock) {
+  Cluster cluster(4);
+  try {
+    cluster.run([](Comm& comm) {
+      if (comm.rank() == 2) throw std::logic_error("rank 2 died");
+      comm.barrier();  // rank 2 never arrives
+    });
+    FAIL() << "run() returned despite a rank throwing";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "rank 2 died");
+  }
+}
+
+TEST(Comm, ClusterReusableAfterAbort) {
+  // resetRunState must purge the poisoned mailboxes/barrier generation: an
+  // aborted run may not leave residue that corrupts the next one.
+  Cluster cluster(2);
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) throw std::runtime_error("boom");
+    comm.send<int>(0, 5, {1, 2, 3});  // stranded in rank 0's mailbox
+    comm.barrier();
+  }),
+               std::runtime_error);
+  EXPECT_TRUE(cluster.aborted());
+  cluster.run([](Comm& comm) {
+    comm.barrier();
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 5, {7});
+    } else {
+      // A fresh tag-5 exchange: the pre-abort {1,2,3} must be gone.
+      EXPECT_EQ(comm.recv<int>(0, 5), (std::vector<int>{7}));
+    }
+  });
+  EXPECT_FALSE(cluster.aborted());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(Comm, DropMessageFaultDiscardsExactlyCountSends) {
+  Cluster cluster(2);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::DropMessage;
+  plan.rank = 0;  // at_step < 0: armed from the first operation
+  plan.count = 1;
+  cluster.setFaultPlan(plan);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 7, {111});  // dropped on the wire
+      comm.send<int>(1, 7, {222});  // delivered
+    } else {
+      // The receiver must not block on the dropped message: the surviving
+      // send is the first (and only) tag-7 message in the mailbox.
+      EXPECT_EQ(comm.recv<int>(0, 7), (std::vector<int>{222}));
+    }
+  });
+  cluster.clearFaultPlan();
+}
+
+TEST(Comm, DelayMessageFaultDeliversIntactLater) {
+  Cluster cluster(2);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::DelayMessage;
+  plan.rank = 0;
+  plan.count = 1;
+  plan.delay_ms = 20;
+  cluster.setFaultPlan(plan);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 3, {42, 43});
+    } else {
+      // Delay reorders time, not content: the payload arrives bit-exact.
+      EXPECT_EQ(comm.recv<int>(0, 3), (std::vector<int>{42, 43}));
+    }
+  });
+  cluster.clearFaultPlan();
+}
+
+TEST(Comm, CorruptPayloadFaultFlipsFirstByte) {
+  Cluster cluster(2);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::CorruptPayload;
+  plan.rank = 0;
+  plan.count = 1;
+  cluster.setFaultPlan(plan);
+  cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<std::uint32_t>(1, 9, {0u});
+    } else {
+      // Little-endian u32 0 with its first byte bit-flipped reads 0xFF.
+      EXPECT_EQ(comm.recv<std::uint32_t>(0, 9).at(0), 0xFFu);
+    }
+  });
+  cluster.clearFaultPlan();
+}
+
+TEST(Comm, KillRankFaultAbortsTheWholeCluster) {
+  Cluster cluster(3);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::KillRank;
+  plan.rank = 1;
+  cluster.setFaultPlan(plan);
+  // Rank 1 dies at its first comm operation; ranks 0 and 2 are parked in
+  // the same barrier and must be woken by the abort, not joined forever.
+  EXPECT_THROW(cluster.run([](Comm& comm) { comm.barrier(); }),
+               asura::comm::RankKilled);
+  cluster.clearFaultPlan();
+  cluster.run([](Comm& comm) { comm.barrier(); });  // healthy again
+}
+
+TEST(Comm, StepArmedFaultWaitsForNoteStep) {
+  Cluster cluster(2);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::KillRank;
+  plan.rank = 0;
+  plan.at_step = 5;
+  cluster.setFaultPlan(plan);
+  cluster.run([&cluster](Comm& comm) {
+    comm.barrier();  // not armed: harmless
+    if (comm.rank() == 0) {
+      comm.send<int>(1, 1, {1});
+    } else {
+      (void)comm.recv<int>(0, 1);
+    }
+    cluster.noteStep(comm.rank(), 3);  // still below at_step
+    comm.barrier();
+  });
+  EXPECT_THROW(cluster.run([&cluster](Comm& comm) {
+    cluster.noteStep(comm.rank(), 5);  // arms rank 0's kill
+    comm.barrier();
+  }),
+               asura::comm::RankKilled);
+  cluster.clearFaultPlan();
 }
 
 // ---------------------------------------------------------------------------
