@@ -5,12 +5,15 @@
 #include <exception>
 #include <thread>
 
+#include "io/serialize.hpp"
+
 namespace asura::comm {
 
 Cluster::Cluster(int nranks) : nranks_(nranks) {
   if (nranks <= 0) throw std::invalid_argument("Cluster: nranks must be positive");
   boxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Mailbox>());
+  hb_ = std::make_unique<HeartbeatSlot[]>(static_cast<std::size_t>(nranks));
 }
 
 Cluster::~Cluster() = default;
@@ -67,6 +70,13 @@ void Cluster::resetRunState() {
     std::lock_guard<std::mutex> lk(box->m);
     box->q.clear();
   }
+  for (int i = 0; i < nranks_; ++i) {
+    auto& hb = hb_[static_cast<std::size_t>(i)];
+    hb.step.store(-1, std::memory_order_release);
+    hb.phase.store(0, std::memory_order_release);
+    hb.ticks.store(0, std::memory_order_release);
+    hb.done.store(false, std::memory_order_release);
+  }
   std::lock_guard<std::mutex> lk(barrier_mutex_);
   barriers_.clear();
 }
@@ -93,9 +103,59 @@ void Cluster::setFaultPlan(const FaultPlan& plan) {
   fault_ops_.store(0, std::memory_order_release);
 }
 
-void Cluster::noteStep(int world_rank, long step) {
+void Cluster::noteStep(int world_rank, long step, int phase) {
+  if (world_rank >= 0 && world_rank < nranks_) {
+    auto& hb = hb_[static_cast<std::size_t>(world_rank)];
+    hb.step.store(step, std::memory_order_release);
+    hb.phase.store(phase, std::memory_order_release);
+    hb.ticks.fetch_add(1, std::memory_order_acq_rel);
+  }
   if (fault_.kind == FaultPlan::Kind::None || world_rank != fault_.rank) return;
   fault_rank_step_.store(step, std::memory_order_release);
+  // Progress publication is itself a fault point for Kill/Hang plans: a
+  // serial (comm-free) supervised rank has no send/recv/barrier to latch
+  // onto, but it heartbeats every step.
+  if (fault_.kind == FaultPlan::Kind::KillRank ||
+      fault_.kind == FaultPlan::Kind::HangRank) {
+    switch (nextFault(world_rank, /*is_send=*/false)) {
+      case FaultPlan::Kind::KillRank:
+        throw RankKilled("fault plan: rank " + std::to_string(world_rank) +
+                         " killed at step " + std::to_string(step));
+      case FaultPlan::Kind::HangRank:
+        hangUntilAbort();
+      default:
+        break;
+    }
+  }
+}
+
+void Cluster::noteRankDone(int world_rank) {
+  if (world_rank < 0 || world_rank >= nranks_) return;
+  hb_[static_cast<std::size_t>(world_rank)].done.store(true,
+                                                       std::memory_order_release);
+}
+
+Cluster::Heartbeat Cluster::heartbeat(int world_rank) const {
+  Heartbeat out;
+  if (world_rank < 0 || world_rank >= nranks_) return out;
+  const auto& hb = hb_[static_cast<std::size_t>(world_rank)];
+  // ticks first (acquire): a reader that sees tick N also sees the step and
+  // phase published before it.
+  out.ticks = hb.ticks.load(std::memory_order_acquire);
+  out.step = hb.step.load(std::memory_order_acquire);
+  out.phase = hb.phase.load(std::memory_order_acquire);
+  out.done = hb.done.load(std::memory_order_acquire);
+  return out;
+}
+
+void Cluster::hangUntilAbort() {
+  // Simulated hang: stop publishing progress but stay interruptible — a
+  // real hang would need the watchdog (or a peer's failure) to resolve it
+  // anyway, and a test must never be able to wedge the join permanently.
+  while (!aborted()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  throw ClusterAborted{};
 }
 
 FaultPlan::Kind Cluster::nextFault(int world_rank, bool is_send) {
@@ -106,7 +166,8 @@ FaultPlan::Kind Cluster::nextFault(int world_rank, bool is_send) {
       fault_rank_step_.load(std::memory_order_acquire) < fault_.at_step) {
     return FaultPlan::Kind::None;
   }
-  const bool eligible = fault_.kind == FaultPlan::Kind::KillRank || is_send;
+  const bool eligible = fault_.kind == FaultPlan::Kind::KillRank ||
+                        fault_.kind == FaultPlan::Kind::HangRank || is_send;
   if (!eligible) return FaultPlan::Kind::None;
   const auto op = fault_ops_.fetch_add(1, std::memory_order_acq_rel);
   if (op < fault_.after_ops) return FaultPlan::Kind::None;
@@ -132,13 +193,13 @@ Cluster::BarrierState& Cluster::barrierState(int comm_id) {
   return *slot;
 }
 
-void Cluster::deposit(int world_dst, const MailKey& key, Buffer data) {
+void Cluster::deposit(int world_dst, const MailKey& key, Msg msg) {
   msg_count_.fetch_add(1, std::memory_order_relaxed);
-  byte_count_.fetch_add(data.size(), std::memory_order_relaxed);
+  byte_count_.fetch_add(msg.data.size(), std::memory_order_relaxed);
   Mailbox& mb = *boxes_.at(static_cast<std::size_t>(world_dst));
   {
     std::lock_guard<std::mutex> lk(mb.m);
-    mb.q[key].push_back(std::move(data));
+    mb.q[key].push_back(std::move(msg));
   }
   mb.cv.notify_all();
 }
@@ -155,10 +216,18 @@ Buffer Cluster::collect(int world_me, const MailKey& key) {
     // Woken by the abort with no matching message: the sender died.
     throw ClusterAborted{};
   }
-  Buffer out = std::move(it->second.front());
+  Msg msg = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) mb.q.erase(it);
-  return out;
+  lk.unlock();
+  if (msg.guarded &&
+      io::crc32(msg.data.data(), msg.data.size()) != msg.crc) {
+    throw MessageCorrupt(
+        "comm: payload CRC mismatch on recv (message from rank " +
+        std::to_string(key.src) + ", tag " + std::to_string(key.tag) +
+        " corrupted in flight)");
+  }
+  return std::move(msg.data);
 }
 
 void Comm::sendBytes(int dst, int tag, const void* data, std::size_t nbytes) {
@@ -168,6 +237,12 @@ void Comm::sendBytes(int dst, int tag, const void* data, std::size_t nbytes) {
   cluster_->throwIfAborted();
   Buffer buf(nbytes);
   if (nbytes > 0) std::memcpy(buf.data(), data, nbytes);
+
+  // Guard CRC is computed BEFORE the fault switch mutates the buffer: an
+  // injected CorruptPayload then models wire corruption, and the guarded
+  // receiver detects it instead of consuming silently wrong bytes.
+  const bool guarded = cluster_->messageGuard();
+  const std::uint32_t crc = guarded ? io::crc32(buf.data(), buf.size()) : 0;
 
   switch (cluster_->nextFault(worldRank(rank_), /*is_send=*/true)) {
     case FaultPlan::Kind::DropMessage:
@@ -182,27 +257,38 @@ void Comm::sendBytes(int dst, int tag, const void* data, std::size_t nbytes) {
     case FaultPlan::Kind::KillRank:
       throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
                        " killed in send");
+    case FaultPlan::Kind::HangRank:
+      cluster_->hangUntilAbort();
     case FaultPlan::Kind::None:
       break;
   }
-  cluster_->deposit(worldRank(dst), {comm_id_, rank_, tag}, std::move(buf));
+  cluster_->deposit(worldRank(dst), {comm_id_, rank_, tag},
+                    Cluster::Msg{std::move(buf), crc, guarded});
 }
 
 Buffer Comm::recvBytes(int src, int tag) {
   if (src < 0 || src >= size_) throw std::out_of_range("recv: bad source rank");
-  if (cluster_->nextFault(worldRank(rank_), /*is_send=*/false) ==
-      FaultPlan::Kind::KillRank) {
-    throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
-                     " killed in recv");
+  switch (cluster_->nextFault(worldRank(rank_), /*is_send=*/false)) {
+    case FaultPlan::Kind::KillRank:
+      throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
+                       " killed in recv");
+    case FaultPlan::Kind::HangRank:
+      cluster_->hangUntilAbort();
+    default:
+      break;
   }
   return cluster_->collect(worldRank(rank_), {comm_id_, src, tag});
 }
 
 void Comm::barrier() {
-  if (cluster_->nextFault(worldRank(rank_), /*is_send=*/false) ==
-      FaultPlan::Kind::KillRank) {
-    throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
-                     " killed in barrier");
+  switch (cluster_->nextFault(worldRank(rank_), /*is_send=*/false)) {
+    case FaultPlan::Kind::KillRank:
+      throw RankKilled("fault plan: rank " + std::to_string(worldRank(rank_)) +
+                       " killed in barrier");
+    case FaultPlan::Kind::HangRank:
+      cluster_->hangUntilAbort();
+    default:
+      break;
   }
   auto& st = cluster_->barrierState(comm_id_);
   std::unique_lock<std::mutex> lk(st.m);

@@ -54,13 +54,28 @@ class RankKilled : public std::runtime_error {
   explicit RankKilled(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by recv when the message guard (Cluster::setMessageGuard) detects
+/// a payload whose bytes changed between send and delivery. The CRC is
+/// computed on the send side *before* fault injection mutates the buffer, so
+/// an injected CorruptPayload models wire corruption and a guarded receiver
+/// catches it instead of consuming silently wrong bytes.
+class MessageCorrupt : public std::runtime_error {
+ public:
+  explicit MessageCorrupt(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Injected failure for the SPMD substrate. One plan at a time, installed
 /// with Cluster::setFaultPlan *before* Cluster::run; the plan applies to one
 /// world rank and triggers once that rank is armed (noteStep reached
 /// `at_step`, or immediately when at_step < 0) and has issued `after_ops`
 /// further eligible operations. Message faults (drop/delay/corrupt) act on
 /// the send side and affect up to `count` sends; KillRank throws RankKilled
-/// from the first eligible operation (send, recv or barrier).
+/// from the first eligible operation (send, recv, barrier, or the noteStep
+/// call itself — the latter is what makes serial, comm-free supervised runs
+/// injectable); HangRank stalls the rank in an abort-interruptible sleep
+/// loop at the same points (a simulated hang: progress publication stops,
+/// but the thread stays joinable once a watchdog or peer failure raises the
+/// cooperative abort).
 struct FaultPlan {
   enum class Kind {
     None,            ///< no fault installed
@@ -68,6 +83,7 @@ struct FaultPlan {
     DelayMessage,    ///< send is held for delay_ms before delivery
     CorruptPayload,  ///< first byte of the payload is bit-flipped
     KillRank,        ///< the rank throws RankKilled
+    HangRank,        ///< the rank stalls until the cluster aborts
   };
   Kind kind = Kind::None;
   int rank = -1;                 ///< world rank the fault applies to
@@ -106,6 +122,45 @@ class Cluster {
   [[nodiscard]] Traffic traffic() const;
   void resetTraffic();
 
+  // --- heartbeats / liveness ------------------------------------------------
+
+  /// Most recent progress a rank published through noteStep. `ticks` is the
+  /// monotonic publication counter a watchdog compares across polls: a rank
+  /// whose ticks stop changing while not `done` has stalled. step < 0 means
+  /// the rank never published in this run.
+  struct Heartbeat {
+    long step = -1;
+    int phase = 0;
+    std::uint64_t ticks = 0;
+    bool done = false;
+  };
+
+  /// Snapshot of `world_rank`'s heartbeat slot (lock-free; any thread).
+  [[nodiscard]] Heartbeat heartbeat(int world_rank) const;
+
+  /// Mark a rank's supervised body as finished so a watchdog stops expecting
+  /// progress from it (other ranks may legitimately run much longer).
+  void noteRankDone(int world_rank);
+
+  /// Raise the cooperative abort from outside the rank threads (watchdog,
+  /// external supervisor). Peers blocked in recv/barrier/collectives wake
+  /// with ClusterAborted exactly as if a rank had thrown.
+  void triggerAbort() { requestAbort(); }
+
+  // --- message guard --------------------------------------------------------
+
+  /// When on, every send records a CRC-32 of the payload *before* fault
+  /// injection can mutate it and every recv verifies it, throwing
+  /// MessageCorrupt on mismatch. Off by default: corruption tests that
+  /// assert silent delivery (and zero-overhead production paths) keep the
+  /// unguarded behaviour. Set before run().
+  void setMessageGuard(bool on) {
+    guard_messages_.store(on, std::memory_order_release);
+  }
+  [[nodiscard]] bool messageGuard() const {
+    return guard_messages_.load(std::memory_order_acquire);
+  }
+
   // --- fault injection ------------------------------------------------------
 
   /// Install a fault plan (call before run(); not thread-safe against a
@@ -113,10 +168,13 @@ class Cluster {
   void setFaultPlan(const FaultPlan& plan);
   void clearFaultPlan() { setFaultPlan(FaultPlan{}); }
 
-  /// Step-trigger hook for FaultPlan::at_step: step drivers report each
-  /// rank's current step (DistributedEngine::exchangeParticles calls this
-  /// once per step). A no-op unless a plan targets `world_rank`.
-  void noteStep(int world_rank, long step);
+  /// Progress + step-trigger hook: records `world_rank`'s heartbeat (step,
+  /// sub-step phase) for the watchdog, then arms/applies any fault plan
+  /// targeting that rank (DistributedEngine::exchangeParticles reports every
+  /// step; Simulation's progress reporter adds sub-step phases). Kill/Hang
+  /// plans fire here too, so even a serial rank that never touches a comm op
+  /// is injectable.
+  void noteStep(int world_rank, long step, int phase = 0);
 
   [[nodiscard]] bool aborted() const {
     return abort_flag_.load(std::memory_order_acquire);
@@ -128,6 +186,9 @@ class Cluster {
   /// Wake every rank blocked in a mailbox or barrier wait; they throw
   /// ClusterAborted from the wait instead of sleeping through the join.
   void requestAbort();
+  /// Body of a HangRank fault: stall (interruptibly) until the cooperative
+  /// abort lands, then unwind with ClusterAborted.
+  [[noreturn]] void hangUntilAbort();
   void throwIfAborted() const {
     if (aborted()) throw ClusterAborted{};
   }
@@ -136,7 +197,8 @@ class Cluster {
   void resetRunState();
 
   /// Fault decision for one eligible operation of `world_rank`. Message
-  /// faults are eligible on sends only; KillRank on any comm op.
+  /// faults are eligible on sends only; KillRank/HangRank on any comm op
+  /// (and on noteStep itself).
   [[nodiscard]] FaultPlan::Kind nextFault(int world_rank, bool is_send);
 
   struct MailKey {
@@ -146,10 +208,17 @@ class Cluster {
     auto operator<=>(const MailKey&) const = default;
   };
 
+  /// A buffered message plus its optional send-side integrity record.
+  struct Msg {
+    Buffer data;
+    std::uint32_t crc = 0;  ///< CRC-32 of the pre-fault payload (guarded only)
+    bool guarded = false;
+  };
+
   struct Mailbox {
     std::mutex m;
     std::condition_variable cv;
-    std::map<MailKey, std::deque<Buffer>> q;
+    std::map<MailKey, std::deque<Msg>> q;
   };
 
   struct BarrierState {
@@ -161,16 +230,27 @@ class Cluster {
 
   BarrierState& barrierState(int comm_id);
 
-  void deposit(int world_dst, const MailKey& key, Buffer data);
+  void deposit(int world_dst, const MailKey& key, Msg msg);
   Buffer collect(int world_me, const MailKey& key);
+
+  /// One cache line per rank: the watchdog polls every slot at a few tens of
+  /// Hz while ranks publish from their own threads.
+  struct alignas(64) HeartbeatSlot {
+    std::atomic<long> step{-1};
+    std::atomic<int> phase{0};
+    std::atomic<std::uint64_t> ticks{0};
+    std::atomic<bool> done{false};
+  };
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unique_ptr<HeartbeatSlot[]> hb_;
   std::mutex barrier_mutex_;
   std::map<int, std::unique_ptr<BarrierState>> barriers_;
   std::atomic<int> next_comm_id_{1};
   std::atomic<std::uint64_t> msg_count_{0};
   std::atomic<std::uint64_t> byte_count_{0};
+  std::atomic<bool> guard_messages_{false};
 
   // --- cooperative abort ---
   std::atomic<bool> abort_flag_{false};

@@ -1,0 +1,63 @@
+#include "comm/watchdog.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace asura::comm {
+
+using Clock = std::chrono::steady_clock;
+
+Watchdog::Watchdog(Cluster& cluster, Config cfg)
+    : cluster_(cluster), cfg_(cfg), thread_([this] { loop(); }) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop() {
+  const int nranks = cluster_.size();
+  std::vector<std::uint64_t> last_ticks(static_cast<std::size_t>(nranks), 0);
+  std::vector<Clock::time_point> last_change(static_cast<std::size_t>(nranks),
+                                             Clock::now());
+  const auto poll =
+      std::chrono::duration<double>(cfg_.poll_s > 0.0 ? cfg_.poll_s : 0.02);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (cv_.wait_for(lk, poll, [&] { return stop_; })) return;
+    }
+    if (cluster_.aborted()) continue;  // already unwinding; nothing to add
+    const auto now = Clock::now();
+    for (int r = 0; r < nranks; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      const auto hb = cluster_.heartbeat(r);
+      // A rank that finished its body, or never started publishing, owes no
+      // heartbeats (ranks legitimately finish at different times, and the
+      // run may not have launched yet).
+      if (hb.done || hb.step < 0 || hb.ticks != last_ticks[i]) {
+        last_ticks[i] = hb.ticks;
+        last_change[i] = now;
+        continue;
+      }
+      if (std::chrono::duration<double>(now - last_change[i]).count() >
+          cfg_.deadline_s) {
+        trips_.fetch_add(1, std::memory_order_acq_rel);
+        cluster_.triggerAbort();
+        // One trip per stall: the abort stops everyone's publishing, so
+        // re-baseline instead of tripping again every poll.
+        last_change[i] = now;
+      }
+    }
+  }
+}
+
+}  // namespace asura::comm

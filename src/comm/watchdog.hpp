@@ -1,0 +1,69 @@
+#pragma once
+/// \file watchdog.hpp
+/// \brief Hang detection for the SPMD cluster (the supervisor's first layer).
+///
+/// Ranks publish monotonic progress through Cluster::noteStep (the
+/// DistributedEngine reports every particle exchange; Simulation's progress
+/// reporter adds sub-step phases, so serial ranks heartbeat too). The
+/// watchdog is a background thread that polls every rank's heartbeat ticks:
+/// a rank that is neither done nor yet started is expected to keep
+/// publishing, and one whose ticks sit unchanged past the deadline has
+/// stalled — a deadlock, a livelock, a wedged backend, or an injected
+/// HangRank fault. The watchdog then raises the cooperative abort, which
+/// converts the silent hang into a catchable ClusterAborted on every rank
+/// (the same path a thrown exception takes), so a supervisor can roll back
+/// and retry instead of a human attaching a debugger to a stuck job.
+///
+/// Deadline sizing: the deadline bounds the *gap between heartbeats*, not
+/// step duration — with sub-step phase reporting a deep hierarchical step
+/// publishes many times per step, so deadlines of a few seconds are safe
+/// even when steps take much longer. False trips only require the slowest
+/// publish interval to exceed the deadline; tests on loaded CI machines
+/// should keep an order of magnitude of slack.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "comm/comm.hpp"
+
+namespace asura::comm {
+
+class Watchdog {
+ public:
+  struct Config {
+    double deadline_s = 5.0;  ///< max heartbeat silence before the trip
+    double poll_s = 0.02;     ///< heartbeat sampling interval
+  };
+
+  /// Starts watching immediately. The cluster must outlive the watchdog;
+  /// construct before Cluster::run and stop() (or destroy) after it returns.
+  Watchdog(Cluster& cluster, Config cfg);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stop polling and join the watchdog thread (idempotent).
+  void stop();
+
+  /// Stalled-rank detections so far. A trip aborts the whole cluster, so
+  /// anything >= 1 means the run died by watchdog rather than by exception.
+  [[nodiscard]] int trips() const {
+    return trips_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void loop();
+
+  Cluster& cluster_;
+  Config cfg_;
+  std::atomic<int> trips_{0};
+  bool stop_ = false;  ///< guarded by m_
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace asura::comm

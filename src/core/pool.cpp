@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "util/deadline.hpp"
+
 namespace asura::core {
 
 PoolNodeScheduler::PoolNodeScheduler(std::shared_ptr<SurrogateBackend> backend,
@@ -115,6 +117,12 @@ void PoolNodeScheduler::restoreResults(std::vector<PendingResult> results) {
 
 std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) {
   const auto run = [&](SurrogateBackend& b) {
+    // Arm a cooperative deadline for this worker thread: a backend that
+    // polls util::checkJobDeadline() at its yield points (UNet3D::forward
+    // checks between layer stages) aborts with DeadlineExceeded instead of
+    // holding the worker past the budget. Backends that never poll fall
+    // back to the post-hoc overrun record below.
+    util::JobDeadlineScope deadline(job_timeout_s_);
     const auto t0 = std::chrono::steady_clock::now();
     auto out = b.predict(job.region, job.sn_pos, job.energy, job.horizon);
     const std::chrono::duration<double> el = std::chrono::steady_clock::now() - t0;
@@ -126,11 +134,15 @@ std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) 
   };
 
   // Primary attempt plus retries. A backend that *throws* is treated the
-  // same as one returning a contract violation.
+  // same as one returning a contract violation; a cancelled (timed-out)
+  // attempt additionally counts toward jobsTimedOut.
   for (int attempt = 0; attempt <= retry_budget_; ++attempt) {
     try {
       auto out = run(*backend_);
       if (validatePrediction(job.region, out).empty()) return out;
+    } catch (const util::DeadlineExceeded&) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++timed_out_;
     } catch (...) {
     }
     if (attempt < retry_budget_) {
@@ -149,6 +161,9 @@ std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) 
         ++fallbacks_;
         return out;
       }
+    } catch (const util::DeadlineExceeded&) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++timed_out_;
     } catch (...) {
     }
   }

@@ -67,9 +67,14 @@ class PoolNodeScheduler {
   }
   /// Primary-backend retries before degrading (default 1).
   void setRetryBudget(int retries) { retry_budget_ = retries < 0 ? 0 : retries; }
-  /// Wall-clock budget per predict call [s]. The thread model cannot abort a
-  /// running predict, so an overrun is *recorded* (jobsTimedOut) when the
-  /// call returns, not preempted; <= 0 disables the check.
+  /// Wall-clock budget per predict call [s]. Enforced cooperatively: each
+  /// attempt runs under a util::JobDeadlineScope, and backends that poll
+  /// util::checkJobDeadline() at their yield points (UNet3D::forward checks
+  /// between layer stages) abort mid-prediction with DeadlineExceeded — the
+  /// job then degrades through the ordinary retry/fallback/identity ladder.
+  /// Cancelled and overrunning attempts both count in jobsTimedOut; a
+  /// backend that never polls is still *recorded* when the call returns,
+  /// just not preempted. <= 0 disables the budget.
   void setJobTimeout(double seconds) { job_timeout_s_ = seconds; }
 
   /// Jobs whose result came from the fallback backend (or the identity

@@ -66,6 +66,7 @@ StepStats Simulation::step() {
   stats_ = StepStats{};
   StepStats& stats = stats_;
   step_ctx_.beginStep();
+  reportProgress(0);  // step entered
 
   // Record the run-level kernel-ISA resolution. The per-pass params handed
   // to the force passes are resolved on the fly by gravityParams() /
@@ -173,6 +174,8 @@ StepStats Simulation::step() {
     }
   }
 
+  reportProgress(1);  // integration done
+
   // Star formation, cooling, capture bookkeeping and the receive path all
   // operate on pure locals; the force passes re-attach imports on demand.
   if (dist_) dist_->detachGhosts(parts_, n_local_, step_ctx_);
@@ -278,6 +281,7 @@ StepStats Simulation::step() {
   // Run-integrity guard: trips checkpoint-and-abort on non-finite state or
   // broken conservation before a corrupt step is published as "done".
   if (cfg_.validate_steps) validateStepInvariants();
+  reportProgress(2);  // step complete (validator included)
   t_ += dt;
   ++step_;
   return stats;
@@ -699,6 +703,9 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
       applyWakes(n, nfull, dt_min, kmax, stats);
     }
     ++stats.substeps;
+    // Sub-step liveness: a deep rung spread runs many sub-steps per global
+    // step, and the watchdog must see progress between sync points.
+    reportProgress(16 + stats.substeps);
   }
 }
 

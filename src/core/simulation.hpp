@@ -103,6 +103,7 @@
 /// only — a ghost's home rank wakes the real particle at its own passes.
 
 #include <array>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
@@ -367,6 +368,17 @@ class Simulation {
   /// accumulator). Not const: ghosts detach and the pool drains.
   void serializeState(io::ByteWriter& w);
 
+  /// Liveness hook for run supervisors: called with (current step, phase id)
+  /// at a handful of fixed points inside step() — entry, after integration,
+  /// after the final force pass, and once per hierarchical sub-step (phase
+  /// 16 + substeps, so deep steps keep publishing between sync points). A
+  /// supervisor typically forwards these to Cluster::noteStep so the
+  /// watchdog can tell a slow sub-step loop from a hung rank; serial and
+  /// distributed ranks publish alike. Empty (the default) costs nothing.
+  void setProgressReporter(std::function<void(long step, int phase)> reporter) {
+    progress_ = std::move(reporter);
+  }
+
   /// Inverse of serializeState. The Simulation must have been constructed
   /// with a compatible shape (same use_surrogate / return_interval /
   /// n_pool_nodes, engine attached iff the checkpoint had one) — the pool
@@ -453,6 +465,11 @@ class Simulation {
   /// distributed (the trip decision is an allreduce, so either every rank
   /// throws or none does — no rank is left blocked in a collective).
   void validateStepInvariants();
+  /// Publish a liveness phase through the progress reporter (no-op when none
+  /// is installed).
+  void reportProgress(int phase) {
+    if (progress_) progress_(step_, phase);
+  }
 
   std::vector<fdps::Particle> parts_;
   /// Owned-particle count; parts_[n_local_, end) is the attached ghost
@@ -497,6 +514,8 @@ class Simulation {
   std::vector<long> step_begin_, step_end_;
   /// Most recent step's statistics (lastStats). step() resets this at entry.
   StepStats stats_;
+  /// Liveness callback of setProgressReporter (empty: no reporting).
+  std::function<void(long, int)> progress_;
   /// Saitoh–Makino wake requests of the current force pass (packed
   /// neighbour<<32|target, canonically sorted by the pass).
   std::vector<std::uint64_t> wake_requests_;

@@ -1,0 +1,289 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "comm/watchdog.hpp"
+#include "io/checkpoint.hpp"
+#include "io/serialize.hpp"
+
+namespace asura::core {
+
+Supervisor::Supervisor(comm::Cluster& cluster, SupervisorConfig cfg)
+    : cluster_(cluster), cfg_(std::move(cfg)) {
+  if (cfg_.snapshot_interval <= 0) {
+    throw std::invalid_argument("Supervisor: snapshot_interval must be positive");
+  }
+  if (cfg_.max_retries < 0) {
+    throw std::invalid_argument("Supervisor: max_retries must be non-negative");
+  }
+}
+
+SimulationConfig Supervisor::escalate(SimulationConfig base, int level) {
+  // Level 0 is the plain config: the transient-fault path must stay bitwise
+  // identical to the uninterrupted run. Each further rung narrows the
+  // machinery a deterministic failure could live in. The rungs only ADD
+  // safety (monotone), so re-applying after a ring restore — which brings
+  // back the snapshot's pre-escalation config — is idempotent.
+  if (level >= 1) base.validate_steps = true;
+  if (level >= 3) base.kernel_isa = pikg::Isa::Scalar;
+  // Level 2 (surrogate -> Sedov oracle) is a construction-time backend
+  // choice, carried by AttemptPlan::force_oracle instead of the config.
+  return base;
+}
+
+void Supervisor::pushSnapshot(RankRing& ring, Simulation& sim) {
+  RingEntry& e = ring.slots[static_cast<std::size_t>(
+      ring.head % ring.slots.size())];
+  // A rank killed mid-push leaves the slot invalid, never half-written: the
+  // supervisor thread only reads rings between attempts (thread join orders
+  // the accesses), and `valid` brackets the mutation.
+  e.valid = false;
+  io::ByteWriter w;
+  sim.serializeState(w);
+  e.bytes = w.take();
+  e.crc = io::crc32(e.bytes.data(), e.bytes.size());
+  e.step = sim.stepCount();
+  e.time = sim.time();
+  e.valid = true;
+  ++ring.head;
+  ring.last_step = e.step;
+}
+
+long Supervisor::commonRingStep() const {
+  if (rings_.empty()) return -1;
+  std::vector<long> cands;
+  for (const auto& e : rings_.front().slots) {
+    if (e.valid) cands.push_back(e.step);
+  }
+  std::sort(cands.begin(), cands.end(), std::greater<long>());
+  for (long s : cands) {
+    bool everywhere = true;
+    for (const auto& ring : rings_) {
+      bool found = false;
+      for (const auto& e : ring.slots) {
+        if (e.valid && e.step == s) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) return s;
+  }
+  return -1;
+}
+
+void Supervisor::attemptBody(comm::Comm& comm, long target_step,
+                             const AttemptPlan& plan, long resume_step,
+                             const Factory& make, const Finisher& on_complete,
+                             std::vector<long>& progress,
+                             std::vector<StepStats>& health) {
+  const int wr = comm.worldRank(comm.rank());
+  const auto wi = static_cast<std::size_t>(wr);
+  auto sim = make(comm, plan);
+  if (!sim) throw std::runtime_error("supervisor: factory returned null");
+
+  RankRing& ring = rings_[wi];
+  if (resume_step >= 0) {
+    RingEntry* entry = nullptr;
+    for (auto& e : ring.slots) {
+      if (e.valid && e.step == resume_step) entry = &e;
+    }
+    if (!entry) {
+      throw std::runtime_error("supervisor: rank " + std::to_string(wr) +
+                               " has no ring entry for step " +
+                               std::to_string(resume_step));
+    }
+    if (io::crc32(entry->bytes.data(), entry->bytes.size()) != entry->crc) {
+      // Poison the entry so the next attempt falls back to an older common
+      // step instead of re-reading the same corrupt bytes forever.
+      entry->valid = false;
+      throw std::runtime_error("supervisor: ring snapshot CRC mismatch on rank " +
+                               std::to_string(wr) + " at step " +
+                               std::to_string(resume_step));
+    }
+    io::ByteReader r(entry->bytes.data(), entry->bytes.size());
+    sim->restoreState(r);
+    if (r.remaining() != 0) {
+      entry->valid = false;
+      throw std::runtime_error("supervisor: trailing ring bytes on rank " +
+                               std::to_string(wr));
+    }
+    // restoreState brought back the snapshot's config, which predates this
+    // attempt's ladder level — re-apply the escalation knobs (the backend
+    // choice is construction-time and unaffected by restore).
+    sim->config() = escalate(sim->config(), plan.level);
+  } else if (ring.last_step != sim->stepCount()) {
+    // Fresh start: seed the ring with the pre-step state so even a failure
+    // before the first interval snapshot rolls back instead of restarting
+    // from a rebuilt IC.
+    pushSnapshot(ring, *sim);
+  }
+
+  // Liveness: every step (and sub-step) publishes through the cluster's
+  // heartbeat slots, so the watchdog can tell slow from stuck — serial and
+  // distributed ranks alike.
+  sim->setProgressReporter([this, wr](long step, int phase) {
+    cluster_.noteStep(wr, step, phase);
+  });
+
+  progress[wi] = sim->stepCount();
+  while (sim->stepCount() < target_step) {
+    const StepStats st = sim->step();
+    const long s = sim->stepCount();
+    progress[wi] = s;
+    health[wi].surrogate_fallbacks += st.surrogate_fallbacks;
+    health[wi].reach_giveups += st.reach_giveups;
+    health[wi].limiter_wakes += st.limiter_wakes;
+    health[wi].migrated += st.migrated;
+    if (s % cfg_.snapshot_interval == 0 && ring.last_step != s) {
+      pushSnapshot(ring, *sim);
+    }
+  }
+
+  // Done before the finisher: a slow state-extraction callback must not look
+  // like a hang to the watchdog.
+  cluster_.noteRankDone(wr);
+  if (on_complete) on_complete(comm, *sim);
+}
+
+std::string Supervisor::writePostmortem(long step) const {
+  if (cfg_.postmortem_path.empty() || step < 0) return {};
+  std::vector<std::vector<char>> sections;
+  sections.reserve(rings_.size());
+  double time = 0.0;
+  for (const auto& ring : rings_) {
+    const RingEntry* entry = nullptr;
+    for (const auto& e : ring.slots) {
+      if (e.valid && e.step == step) entry = &e;
+    }
+    if (!entry) return {};  // commonRingStep guaranteed this; stay safe
+    sections.push_back(entry->bytes);
+    time = entry->time;
+  }
+  io::writeCheckpointRaw(cfg_.postmortem_path, step, time, sections);
+  return cfg_.postmortem_path;
+}
+
+RunReport Supervisor::run(long target_step, const SimulationConfig& base,
+                          const Factory& make, const Finisher& on_complete) {
+  const int nranks = cluster_.size();
+  rings_.clear();
+  rings_.resize(static_cast<std::size_t>(nranks));
+  for (auto& ring : rings_) {
+    ring.slots.resize(static_cast<std::size_t>(std::max(2, cfg_.ring_slots)));
+  }
+
+  RunReport rep;
+  rep.target_step = target_step;
+
+  const bool prev_guard = cluster_.messageGuard();
+  cluster_.setMessageGuard(cfg_.guard_messages);
+
+  int level = 0;
+  double backoff_ms = cfg_.backoff_initial_ms;
+  std::vector<long> progress(static_cast<std::size_t>(nranks), -1);
+  std::vector<StepStats> health(static_cast<std::size_t>(nranks));
+
+  for (;;) {
+    ++rep.attempts;
+    const long resume_step = commonRingStep();
+    const AttemptPlan plan{escalate(base, level), level >= 2, level};
+
+    std::optional<comm::Watchdog> dog;
+    if (cfg_.watchdog) {
+      dog.emplace(cluster_,
+                  comm::Watchdog::Config{cfg_.watchdog_deadline_s,
+                                         cfg_.watchdog_poll_s});
+    }
+
+    for (auto& p : progress) p = resume_step;
+    std::string cause;
+    bool failed = false;
+    try {
+      cluster_.run([&](comm::Comm& comm) {
+        attemptBody(comm, target_step, plan, resume_step, make, on_complete,
+                    progress, health);
+      });
+    } catch (const comm::RankKilled& e) {
+      failed = true;
+      cause = std::string("rank killed: ") + e.what();
+    } catch (const comm::MessageCorrupt& e) {
+      failed = true;
+      cause = std::string("corrupt message: ") + e.what();
+    } catch (const ValidationError& e) {
+      failed = true;
+      cause = std::string("validation: ") + e.what();
+    } catch (const comm::ClusterAborted& e) {
+      failed = true;
+      cause = std::string("cluster aborted: ") + e.what();
+    } catch (const std::exception& e) {
+      failed = true;
+      cause = std::string("error: ") + e.what();
+    }
+
+    int attempt_trips = 0;
+    if (dog) {
+      dog->stop();
+      attempt_trips = dog->trips();
+      rep.watchdog_trips += attempt_trips;
+    }
+
+    for (const auto& h : health) {
+      rep.surrogate_fallbacks += h.surrogate_fallbacks;
+      rep.reach_giveups += h.reach_giveups;
+      rep.limiter_wakes += h.limiter_wakes;
+      rep.migrated += h.migrated;
+    }
+    for (auto& h : health) h = StepStats{};
+
+    if (!failed) {
+      rep.completed = true;
+      rep.final_step = target_step;
+      rep.escalation_level = level;
+      break;
+    }
+
+    long failed_after = resume_step;
+    for (long p : progress) failed_after = std::max(failed_after, p);
+    if (attempt_trips > 0 && cause.rfind("cluster aborted", 0) == 0) {
+      cause = "hang: watchdog deadline (" +
+              std::to_string(cfg_.watchdog_deadline_s) + " s) exceeded";
+    }
+    rep.failures.push_back(FailureRecord{rep.attempts, level, resume_step,
+                                         failed_after, attempt_trips > 0,
+                                         cause});
+
+    const long next_resume = commonRingStep();
+    rep.wasted_steps +=
+        std::max(0L, std::max(failed_after, 0L) - std::max(next_resume, 0L));
+
+    if (rep.retries >= cfg_.max_retries) {
+      rep.final_step = next_resume;
+      rep.escalation_level = level;
+      rep.postmortem_path = writePostmortem(next_resume);
+      break;
+    }
+    ++rep.retries;
+    if (next_resume >= 0) ++rep.rollbacks;
+    level = std::min(rep.retries - 1, 3);
+
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff_ms));
+      backoff_ms *= cfg_.backoff_factor;
+    }
+  }
+
+  cluster_.setMessageGuard(prev_guard);
+  rep.snapshots = rings_.empty() ? 0 : static_cast<long>(rings_.front().head);
+  return rep;
+}
+
+}  // namespace asura::core

@@ -15,7 +15,21 @@ namespace asura::io {
 namespace {
 
 constexpr char kMagic[8] = {'A', 'S', 'U', 'R', 'A', 'C', 'K', 'P'};
-constexpr std::uint32_t kFileVersion = 1;
+/// v1: no header CRC. v2: u32 CRC-32 over (version, nranks, step, time-bits)
+/// appended to the fixed header. Writers emit v2; readers accept both.
+constexpr std::uint32_t kFileVersion = 2;
+
+/// CRC-32 over the header fields exactly as they appear on disk (the magic
+/// is excluded — it is its own check).
+std::uint32_t headerCrc(std::uint32_t version, int nranks, long step,
+                        std::uint64_t time_bits) {
+  ByteWriter w;
+  w.putU32(version);
+  w.putI32(nranks);
+  w.putI64(step);
+  w.putU64(time_bits);
+  return crc32(w.bytes().data(), w.bytes().size());
+}
 
 std::vector<char> readWholeFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -42,16 +56,27 @@ CheckpointInfo parseHeader(ByteReader& r, const std::string& path) {
   }
   CheckpointInfo info;
   info.version = r.getU32();
-  if (info.version != kFileVersion) {
+  if (info.version < 1 || info.version > kFileVersion) {
     throw std::runtime_error("checkpoint: unsupported file version " +
                              std::to_string(info.version) + " in " + path);
   }
   info.nranks = r.getI32();
+  info.step = static_cast<long>(r.getI64());
+  const auto time_bits = r.getU64();
+  info.time = std::bit_cast<double>(time_bits);
+  if (info.version >= 2) {
+    const auto stored = r.getU32();
+    const auto computed =
+        headerCrc(info.version, info.nranks, info.step, time_bits);
+    if (stored != computed) {
+      throw std::runtime_error(
+          "checkpoint: header CRC mismatch in " + path +
+          " (header fields corrupted; rank count / step / time untrustworthy)");
+    }
+  }
   if (info.nranks <= 0) {
     throw std::runtime_error("checkpoint: invalid rank count in " + path);
   }
-  info.step = static_cast<long>(r.getI64());
-  info.time = std::bit_cast<double>(r.getU64());
   return info;
 }
 
@@ -102,7 +127,6 @@ void writeCheckpoint(const std::string& path, core::Simulation& sim) {
 
   auto* dist = sim.distributed();
   const int rank = dist ? dist->comm().rank() : 0;
-  const int nranks = dist ? dist->comm().size() : 1;
 
   // Gather every rank's payload; all ranks hold the full set afterwards
   // (allgatherv keeps the collective machinery simple and lets any rank act
@@ -115,28 +139,36 @@ void writeCheckpoint(const std::string& path, core::Simulation& sim) {
   }
 
   if (rank == 0) {
-    ByteWriter out;
-    for (char c : kMagic) out.putU8(static_cast<std::uint8_t>(c));
-    out.putU32(kFileVersion);
-    out.putI32(nranks);
-    out.putI64(sim.stepCount());
-    out.putU64(std::bit_cast<std::uint64_t>(sim.time()));
-    for (const auto& sec : sections) {
-      out.putU64(sec.size());
-      out.putBytes(sec.data(), sec.size());
-      out.putU32(crc32(sec.data(), sec.size()));
-    }
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f) throw std::runtime_error("checkpoint: cannot write " + path);
-    const auto& bytes = out.bytes();
-    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    f.flush();
-    if (!f) throw std::runtime_error("checkpoint: write failed on " + path);
+    writeCheckpointRaw(path, sim.stepCount(), sim.time(), sections);
   }
 
   // Peers wait for the file to exist before returning: a caller that
   // checkpoints and immediately restarts must never race the writer.
   if (dist) dist->comm().barrier();
+}
+
+void writeCheckpointRaw(const std::string& path, long step, double time,
+                        const std::vector<std::vector<char>>& sections) {
+  const auto time_bits = std::bit_cast<std::uint64_t>(time);
+  const int nranks = static_cast<int>(sections.size());
+  ByteWriter out;
+  for (char c : kMagic) out.putU8(static_cast<std::uint8_t>(c));
+  out.putU32(kFileVersion);
+  out.putI32(nranks);
+  out.putI64(step);
+  out.putU64(time_bits);
+  out.putU32(headerCrc(kFileVersion, nranks, step, time_bits));
+  for (const auto& sec : sections) {
+    out.putU64(sec.size());
+    out.putBytes(sec.data(), sec.size());
+    out.putU32(crc32(sec.data(), sec.size()));
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("checkpoint: cannot write " + path);
+  const auto& bytes = out.bytes();
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.flush();
+  if (!f) throw std::runtime_error("checkpoint: write failed on " + path);
 }
 
 void restoreCheckpoint(const std::string& path, core::Simulation& sim) {
@@ -207,6 +239,73 @@ CheckpointInfo readCheckpointInfo(const std::string& path) {
     (void)r.getU32();
   }
   return info;
+}
+
+CheckpointInspection inspectCheckpoint(const std::string& path) {
+  const auto file = readWholeFile(path);
+  ByteReader r(file.data(), file.size());
+  if (r.remaining() < 8) {
+    throw std::runtime_error("checkpoint: " + path +
+                             " too short to hold the magic");
+  }
+  for (char expect : kMagic) {
+    if (static_cast<char>(r.getU8()) != expect) {
+      throw std::runtime_error("checkpoint: bad magic in " + path +
+                               " (not a checkpoint file?)");
+    }
+  }
+
+  CheckpointInspection out;
+  // Fixed header: u32 version + i32 nranks + i64 step + u64 time-bits.
+  if (r.remaining() < 4 + 4 + 8 + 8) {
+    out.truncated = true;
+    return out;
+  }
+  out.info.version = r.getU32();
+  out.info.nranks = r.getI32();
+  out.info.step = static_cast<long>(r.getI64());
+  const auto time_bits = r.getU64();
+  out.info.time = std::bit_cast<double>(time_bits);
+  if (out.info.version >= 2) {
+    if (r.remaining() < 4) {
+      out.truncated = true;
+      return out;
+    }
+    out.header_crc_present = true;
+    out.header_crc_stored = r.getU32();
+    out.header_crc_computed =
+        headerCrc(out.info.version, out.info.nranks, out.info.step, time_bits);
+    out.header_crc_ok = out.header_crc_stored == out.header_crc_computed;
+  }
+
+  // Walk the sections by the framing, trusting nothing: a corrupt header
+  // can claim any rank count, and a corrupt length can point past EOF.
+  for (int rank = 0; rank < out.info.nranks; ++rank) {
+    if (r.remaining() < 8) {
+      out.truncated = true;
+      break;
+    }
+    CheckpointSectionInfo sec;
+    sec.bytes = r.getU64();
+    if (sec.bytes > r.remaining()) {
+      out.truncated = true;
+      out.sections.push_back(sec);
+      break;
+    }
+    std::vector<char> payload(sec.bytes);
+    for (auto& c : payload) c = static_cast<char>(r.getU8());
+    sec.crc_computed = crc32(payload.data(), payload.size());
+    out.info.payload_bytes += sec.bytes;
+    if (r.remaining() < 4) {
+      out.truncated = true;
+      out.sections.push_back(sec);
+      break;
+    }
+    sec.crc_stored = r.getU32();
+    sec.ok = sec.crc_stored == sec.crc_computed;
+    out.sections.push_back(sec);
+  }
+  return out;
 }
 
 }  // namespace asura::io

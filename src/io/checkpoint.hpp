@@ -5,14 +5,20 @@
 /// File layout (all integers little-endian):
 ///
 ///     magic   8 bytes  "ASURACKP"
-///     u32     file format version
+///     u32     file format version (currently 2; version-1 files still read)
 ///     i32     number of ranks whose state follows
 ///     i64     step counter at checkpoint time
 ///     u64     simulation time as IEEE-754 bit pattern
+///     u32     CRC-32 over the four header fields above (version >= 2 only)
 ///     per rank, in rank order:
 ///       u64   payload length in bytes
 ///       ...   payload (Simulation::serializeState output for that rank)
 ///       u32   CRC-32 of the payload
+///
+/// The header CRC closes the last unguarded gap: payload corruption was
+/// always caught per section, but a flipped bit in `nranks` or `step` used
+/// to surface as a confusing framing error (or a wrong restart time).
+/// Version-1 files carry no header CRC and are accepted as-is.
 ///
 /// Both entry points are **collective** on distributed runs: every rank of
 /// the simulation's communicator must call them, in the same step, or peers
@@ -30,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace asura::core {
 class Simulation;
@@ -58,5 +65,41 @@ void restoreCheckpoint(const std::string& path, core::Simulation& sim);
 
 /// Parse only the file header of `path` (serial, any process may call).
 [[nodiscard]] CheckpointInfo readCheckpointInfo(const std::string& path);
+
+/// Write already-serialized per-rank state sections as an ordinary
+/// checkpoint file (current format version, header CRC included). This is
+/// the codec's framing layer without a live Simulation: the Supervisor's
+/// post-mortem path feeds its in-memory ring snapshots — which hold the
+/// exact serializeState byte streams — straight through it, and the result
+/// restores via restoreCheckpoint like any other checkpoint. Serial; only
+/// the calling process writes. Throws std::runtime_error on I/O failure.
+void writeCheckpointRaw(const std::string& path, long step, double time,
+                        const std::vector<std::vector<char>>& sections);
+
+/// One rank section as the inspector sees it.
+struct CheckpointSectionInfo {
+  std::uint64_t bytes = 0;          ///< payload length from the framing
+  std::uint32_t crc_stored = 0;     ///< CRC recorded in the file
+  std::uint32_t crc_computed = 0;   ///< CRC of the bytes actually present
+  bool ok = false;                  ///< stored == computed and not truncated
+};
+
+/// Everything inspectCheckpoint can tell about a file. Unlike the strict
+/// readers it is lenient: CRC mismatches and truncation are *reported*, not
+/// thrown, so a damaged file can still be triaged (tools/ckpt_inspect).
+struct CheckpointInspection {
+  CheckpointInfo info;
+  bool header_crc_present = false;  ///< version >= 2 and field not truncated
+  bool header_crc_ok = false;
+  std::uint32_t header_crc_stored = 0;
+  std::uint32_t header_crc_computed = 0;
+  std::vector<CheckpointSectionInfo> sections;
+  bool truncated = false;  ///< file ended before the framing said it would
+};
+
+/// Examine `path` without restoring anything. Throws only when the file
+/// cannot be opened or does not start with the checkpoint magic; every
+/// other defect is reported in the returned structure.
+[[nodiscard]] CheckpointInspection inspectCheckpoint(const std::string& path);
 
 }  // namespace asura::io

@@ -1,0 +1,73 @@
+#pragma once
+/// \file deadline.hpp
+/// \brief Thread-local cooperative deadlines for long-running worker jobs.
+///
+/// The pool's worker threads cannot preempt a running backend predict, so a
+/// hard job timeout needs the backend's cooperation: the caller arms a
+/// wall-clock deadline for the current thread (JobDeadlineScope), and the
+/// backend sprinkles checkJobDeadline() at its natural yield points (the
+/// UNet checks between layer stages). Crossing the deadline turns the next
+/// check into a DeadlineExceeded throw, which the pool's degradation ladder
+/// catches like any other backend failure — the job falls through to the
+/// retry / fallback / identity chain instead of stalling a worker forever.
+///
+/// The slot is thread-local and scoped: unrelated threads never see each
+/// other's deadlines, and nesting restores the outer deadline on exit. A
+/// backend running outside any scope (deadline disabled, or called directly
+/// by user code) checks for free — checkJobDeadline() is a branch on a
+/// thread-local then.
+
+#include <chrono>
+#include <stdexcept>
+
+namespace asura::util {
+
+/// Thrown by checkJobDeadline() once the armed deadline has passed.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+/// Absolute deadline for the current thread; time_point::max() = disarmed.
+inline std::chrono::steady_clock::time_point& threadDeadline() {
+  thread_local auto deadline = std::chrono::steady_clock::time_point::max();
+  return deadline;
+}
+}  // namespace detail
+
+/// Throw DeadlineExceeded if the current thread's armed deadline has passed.
+/// Free (one thread-local read + compare) when no deadline is armed.
+inline void checkJobDeadline() {
+  const auto deadline = detail::threadDeadline();
+  if (deadline == std::chrono::steady_clock::time_point::max()) return;
+  if (std::chrono::steady_clock::now() > deadline) {
+    throw DeadlineExceeded(
+        "job deadline exceeded (cooperative cancellation requested)");
+  }
+}
+
+/// RAII: arm a deadline `seconds` from now for the current thread; restore
+/// the previous deadline (usually "none") on destruction. `seconds <= 0`
+/// arms nothing — the scope is a no-op, matching setJobTimeout's contract.
+class JobDeadlineScope {
+ public:
+  explicit JobDeadlineScope(double seconds)
+      : previous_(detail::threadDeadline()) {
+    if (seconds > 0.0) {
+      detail::threadDeadline() =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+    }
+  }
+  ~JobDeadlineScope() { detail::threadDeadline() = previous_; }
+  JobDeadlineScope(const JobDeadlineScope&) = delete;
+  JobDeadlineScope& operator=(const JobDeadlineScope&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point previous_;
+};
+
+}  // namespace asura::util

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -370,11 +371,133 @@ TEST(Checkpoint, ReadCheckpointInfoReportsHeader) {
   asura::io::writeCheckpoint(path, sim);
 
   const auto info = asura::io::readCheckpointInfo(path);
-  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.version, 2u);
   EXPECT_EQ(info.nranks, 1);
   EXPECT_EQ(info.step, 3);
   EXPECT_EQ(info.time, sim.time());  // bitwise: stored as the IEEE pattern
   EXPECT_GT(info.payload_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// v2 header CRC + inspector
+// ---------------------------------------------------------------------------
+
+// v2 layout offsets: magic 8 | version u32 @8 | nranks i32 @12 | step i64 @16
+// | time u64 @24 | header CRC u32 @32 | sections @36.
+constexpr std::streamoff kNranksOff = 12;
+constexpr std::streamoff kHeaderCrcOff = 32;
+
+std::vector<char> fileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST(Checkpoint, CorruptHeaderFieldFailsHeaderCrc) {
+  const auto ic = gasBall(100, 5.0, 1.0, 5, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_hdr_corrupt.bin");
+  Simulation sim(ic, cfg);
+  sim.step();
+  asura::io::writeCheckpoint(path, sim);
+
+  // Flip a byte inside the nranks field. Pre-v2 this surfaced as a rank
+  // count mismatch or framing confusion; now the header CRC names it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(kNranksOff);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x40);
+    f.seekp(kNranksOff);
+    f.write(&c, 1);
+  }
+
+  try {
+    (void)asura::io::readCheckpointInfo(path);
+    FAIL() << "corrupt header accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("header CRC mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  Simulation fresh(ic, cfg);
+  EXPECT_THROW(asura::io::restoreCheckpoint(path, fresh), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, VersionOneFileStillRestores) {
+  const auto ic = gasBall(150, 5.0, 1.0, 7, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_v1_compat.bin");
+  Simulation sim(ic, cfg);
+  sim.step();
+  sim.step();
+  const auto want = stateBytes(sim);
+  asura::io::writeCheckpoint(path, sim);
+
+  // Down-convert the v2 file to the exact v1 layout: version field back to
+  // 1, header CRC word removed.
+  {
+    auto bytes = fileBytes(path);
+    ASSERT_GT(bytes.size(), static_cast<std::size_t>(kHeaderCrcOff + 4));
+    bytes[8] = 1;  // version u32 little-endian: 2 -> 1
+    bytes.erase(bytes.begin() + kHeaderCrcOff,
+                bytes.begin() + kHeaderCrcOff + 4);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  EXPECT_EQ(asura::io::readCheckpointInfo(path).version, 1u);
+  Simulation resumed(ic, cfg);
+  asura::io::restoreCheckpoint(path, resumed);
+  EXPECT_EQ(resumed.stepCount(), 2);
+  EXPECT_EQ(stateBytes(resumed), want)
+      << "v1 restore did not reproduce the writer's state";
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, InspectReportsDamageWithoutThrowing) {
+  const auto ic = gasBall(100, 5.0, 1.0, 9, 3000.0);
+  const SimulationConfig cfg = quietConfig();
+  const std::string path = tmpPath("ckpt_inspect.bin");
+  Simulation sim(ic, cfg);
+  sim.step();
+  asura::io::writeCheckpoint(path, sim);
+
+  // Intact file: everything verifies.
+  auto insp = asura::io::inspectCheckpoint(path);
+  EXPECT_EQ(insp.info.version, 2u);
+  EXPECT_TRUE(insp.header_crc_present);
+  EXPECT_TRUE(insp.header_crc_ok);
+  ASSERT_EQ(insp.sections.size(), 1u);
+  EXPECT_TRUE(insp.sections[0].ok);
+  EXPECT_GT(insp.sections[0].bytes, 0u);
+  EXPECT_FALSE(insp.truncated);
+
+  // Payload corruption: reported on the section, not thrown.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(kHeaderCrcOff + 4 + 8 + 32);  // 32 bytes into rank 0's payload
+    const char x = 'X';
+    f.write(&x, 1);
+  }
+  insp = asura::io::inspectCheckpoint(path);
+  EXPECT_TRUE(insp.header_crc_ok);
+  ASSERT_EQ(insp.sections.size(), 1u);
+  EXPECT_FALSE(insp.sections[0].ok);
+  EXPECT_NE(insp.sections[0].crc_stored, insp.sections[0].crc_computed);
+
+  // Truncation: reported, not thrown.
+  {
+    const auto bytes = fileBytes(path);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  insp = asura::io::inspectCheckpoint(path);
+  EXPECT_TRUE(insp.truncated);
   std::remove(path.c_str());
 }
 

@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "comm/comm.hpp"
 #include "comm/torus.hpp"
+#include "comm/watchdog.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -338,6 +341,97 @@ TEST(Comm, StepArmedFaultWaitsForNoteStep) {
   }),
                asura::comm::RankKilled);
   cluster.clearFaultPlan();
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats, hang detection, message guard
+// ---------------------------------------------------------------------------
+
+TEST(Comm, HeartbeatPublishesProgress) {
+  Cluster cluster(2);
+  cluster.run([&cluster](Comm& comm) {
+    cluster.noteStep(comm.rank(), 7, 3);
+    if (comm.rank() == 1) cluster.noteRankDone(1);
+  });
+  const auto hb0 = cluster.heartbeat(0);
+  EXPECT_EQ(hb0.step, 7);
+  EXPECT_EQ(hb0.phase, 3);
+  EXPECT_GT(hb0.ticks, 0u);
+  EXPECT_FALSE(hb0.done);
+  EXPECT_TRUE(cluster.heartbeat(1).done);
+
+  // A new run starts from a clean slate: heartbeats are per-run state.
+  cluster.run([](Comm&) {});
+  EXPECT_EQ(cluster.heartbeat(0).step, -1);
+  EXPECT_FALSE(cluster.heartbeat(1).done);
+}
+
+TEST(Comm, MessageGuardDetectsCorruptPayload) {
+  Cluster cluster(2);
+  cluster.setMessageGuard(true);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::CorruptPayload;
+  plan.rank = 0;
+  plan.count = 1;
+  cluster.setFaultPlan(plan);
+  // The CRC is computed send-side *before* the fault flips the byte, so the
+  // receiver detects the in-flight corruption instead of consuming it.
+  EXPECT_THROW(cluster.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send<std::uint32_t>(1, 9, {0u});
+    } else {
+      (void)comm.recv<std::uint32_t>(0, 9);
+    }
+  }),
+               asura::comm::MessageCorrupt);
+  cluster.clearFaultPlan();
+  cluster.setMessageGuard(false);
+  cluster.run([](Comm& comm) { comm.barrier(); });  // healthy again
+}
+
+TEST(Comm, HangRankFaultTrippedByWatchdog) {
+  Cluster cluster(2);
+  asura::comm::FaultPlan plan;
+  plan.kind = asura::comm::FaultPlan::Kind::HangRank;
+  plan.rank = 0;
+  plan.at_step = 1;
+  cluster.setFaultPlan(plan);
+  asura::comm::Watchdog dog(cluster,
+                            asura::comm::Watchdog::Config{0.2, 0.01});
+  // Rank 0 publishes step 1 and then stalls inside noteStep; rank 1 parks
+  // in the barrier. Without the watchdog this would deadlock forever — the
+  // abort turns it into ClusterAborted on every rank.
+  EXPECT_THROW(cluster.run([&cluster](Comm& comm) {
+    cluster.noteStep(comm.rank(), 1);
+    comm.barrier();
+  }),
+               asura::comm::ClusterAborted);
+  dog.stop();
+  EXPECT_GE(dog.trips(), 1);
+  cluster.clearFaultPlan();
+  cluster.run([](Comm& comm) { comm.barrier(); });  // healthy again
+}
+
+TEST(Comm, WatchdogIgnoresDoneAndLiveRanks) {
+  Cluster cluster(2);
+  asura::comm::Watchdog dog(cluster,
+                            asura::comm::Watchdog::Config{0.15, 0.01});
+  cluster.run([&cluster](Comm& comm) {
+    const int r = comm.rank();
+    cluster.noteStep(r, 1);
+    if (r == 0) {
+      // Finishes early; owes no further heartbeats for the rest of the run.
+      cluster.noteRankDone(0);
+      return;
+    }
+    // Keeps publishing well past rank 0's deadline: alive, just slow.
+    for (int i = 0; i < 40; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      cluster.noteStep(1, 1, i);
+    }
+  });
+  dog.stop();
+  EXPECT_EQ(dog.trips(), 0);
 }
 
 // ---------------------------------------------------------------------------

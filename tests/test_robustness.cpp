@@ -26,6 +26,8 @@
 #include "io/checkpoint.hpp"
 #include "io/serialize.hpp"
 #include "kernels/registry.hpp"
+#include "ml/unet.hpp"
+#include "util/deadline.hpp"
 
 namespace {
 
@@ -193,6 +195,66 @@ TEST(Robustness, JobTimeoutOverrunsAreRecorded) {
   for (int s = 0; s < 4; ++s) sim.step();
   EXPECT_GT(sim.pool()->jobsTimedOut(), 0u);
   EXPECT_EQ(sim.pool()->jobsFailed(), 0u);  // slow is not wrong
+}
+
+TEST(Robustness, CooperativeTimeoutCancelsPollingBackend) {
+  // A backend that polls util::checkJobDeadline() is *cancelled* mid-job,
+  // not merely recorded after the fact: without cancellation this backend
+  // holds its worker for 2 s per attempt; with it, each attempt dies at the
+  // ~50 ms deadline and the job degrades to the oracle fallback.
+  class StuckBackend final : public SurrogateBackend {
+   public:
+    [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
+                                                const Vec3d&, double,
+                                                double) override {
+      for (int i = 0; i < 2000; ++i) {  // 2 s unless cancelled
+        asura::util::checkJobDeadline();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return region;
+    }
+    [[nodiscard]] std::string name() const override { return "stuck"; }
+  };
+
+  const auto ic = blastwaveIc(250, 67);
+  Simulation sim(ic, campaignConfig(), std::make_shared<StuckBackend>());
+  sim.pool()->setJobTimeout(0.05);
+  sim.pool()->setRetryBudget(1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int replaced = 0, fallbacks = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto st = sim.step();
+    replaced += st.particles_replaced;
+    fallbacks += st.surrogate_fallbacks;
+  }
+  const std::chrono::duration<double> el = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_GT(sim.pool()->jobsTimedOut(), 0u) << "cancellation never fired";
+  EXPECT_GT(fallbacks, 0) << "cancelled job did not degrade";
+  EXPECT_EQ(sim.pool()->jobsFailed(), 0u);  // the oracle rescued it
+  EXPECT_GT(replaced, 0);
+  // Two cancelled attempts are ~0.1 s; the uncancelled backend alone would
+  // burn 4 s. Generous bound to absorb sanitizer slowdowns.
+  EXPECT_LT(el.count(), 1.9) << "timeout did not actually preempt the job";
+}
+
+TEST(Robustness, UNetForwardHonorsJobDeadline) {
+  asura::ml::UNetConfig ucfg;
+  ucfg.in_channels = 2;
+  ucfg.out_channels = 2;
+  ucfg.base_width = 2;
+  asura::ml::UNet3D net(ucfg, 5);
+  asura::ml::Tensor x({2, 4, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = 0.25f;
+
+  // No deadline armed: checks are free and forward runs to completion.
+  EXPECT_NO_THROW((void)net.forward(x));
+
+  // Expired deadline: the first between-stage check aborts the inference.
+  asura::util::JobDeadlineScope scope(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_THROW((void)net.forward(x), asura::util::DeadlineExceeded);
 }
 
 // ---------------------------------------------------------------------------

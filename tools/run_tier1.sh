@@ -8,4 +8,13 @@ build_dir="${1:-${repo_root}/build}"
 
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "$(nproc)"
+
+# ckpt_inspect smoke: --help must work, and a damaged/missing file must be a
+# clean nonzero exit (not a crash).
+"${build_dir}/ckpt_inspect" --help > /dev/null
+if "${build_dir}/ckpt_inspect" "${build_dir}/no-such-checkpoint.ckpt" > /dev/null 2>&1; then
+  echo "ckpt_inspect: expected nonzero exit on missing file" >&2
+  exit 1
+fi
+
 cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)"
