@@ -1,15 +1,39 @@
-// Reproduces the §3.3 validation: the surrogate's post-SN state vs the
-// direct (oracle) evolution — total energy, momentum, and the density /
+// Surrogate validation + throughput benchmark.
+//
+// Part 1 reproduces the §3.3 validation: the surrogate's post-SN state vs
+// the direct (oracle) evolution — total energy, momentum, and the density /
 // temperature PDFs ("We also confirmed that the probability distribution
 // functions of gas density and temperature are reproduced with the
 // surrogate model for SNe"). Compares three backends: Sedov oracle, a
 // U-Net trained on oracle data here and now, and an untrained U-Net
 // (ablation: why training matters).
+//
+// Part 2 measures inference throughput on a many-SN fixture (the shape of
+// a production step where dozens of star-forming regions go off at once):
+//   - per-region latency and regions/s for the naive per-region conv loop,
+//   - the same for the im2col GEMM path (sequential, one region at a time),
+//   - regions/s for the batched path (predictBatch, one forward pass),
+//   - raw sgemm GF/s (parallel im2col kernel vs scalar naive loop).
+// The batched output must be bitwise identical to the sequential GEMM
+// output (per-job rng streams make batching invisible to the physics);
+// the bench exits non-zero if it is not, or if the accuracy budget or the
+// 3x regions/s speedup gate fails.
+//
+// Usage: bench_surrogate [--smoke] [--out PATH]
+//   --smoke    small fixture for CI: gates on correctness (bitwise,
+//              accuracy) but not on speedup, which is machine-dependent.
+//   --out      where to write the JSON record (default BENCH_surrogate.json
+//              in the current directory).
 
+#include <chrono>
 #include <cstdio>
-#include <numbers>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/surrogate.hpp"
+#include "ml/gemm.hpp"
+#include "ml/layers.hpp"
 #include "ml/optimizer.hpp"
 #include "sn/turbulence.hpp"
 #include "util/histogram.hpp"
@@ -89,12 +113,52 @@ Summary summarize(const std::vector<Particle>& ref, const std::vector<Particle>&
           asura::util::Histogram::l1Distance(ht_ref, ht_t)};
 }
 
+double nowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+bool bitwiseEqual(const std::vector<std::vector<Particle>>& a,
+                  const std::vector<std::vector<Particle>>& b) {
+  if (a.size() != b.size()) return false;
+  auto same = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof(double)) == 0;
+  };
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    if (a[r].size() != b[r].size()) return false;
+    for (std::size_t i = 0; i < a[r].size(); ++i) {
+      const Particle &p = a[r][i], &q = b[r][i];
+      if (p.id != q.id || !same(p.pos.x, q.pos.x) || !same(p.pos.y, q.pos.y) ||
+          !same(p.pos.z, q.pos.z) || !same(p.vel.x, q.vel.x) ||
+          !same(p.vel.y, q.vel.y) || !same(p.vel.z, q.vel.z) ||
+          !same(p.u, q.u) || !same(p.rho, q.rho)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_surrogate.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const double horizon = 0.1;  // Myr, the paper's prediction window
   const auto region = turbulentBox(11);
 
+  // ---- Part 1: §3.3 accuracy validation --------------------------------
   // Reference: the oracle (stands in for the direct 1-Msun simulation).
   asura::core::SedovOracleBackend oracle;
   const auto ref = oracle.predict(region, {0, 0, 0}, asura::units::E_SN, horizon);
@@ -110,7 +174,8 @@ int main() {
     asura::ml::Adam::Config oc;
     oc.lr = 2e-3;
     asura::ml::Adam opt(trained.network().parameters(), oc);
-    for (int epoch = 0; epoch < 12; ++epoch) {
+    const int epochs = smoke ? 4 : 12;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
       for (std::uint64_t s = 0; s < 3; ++s) {
         auto box = turbulentBox(100 + s, 1500);
         const auto in_grid = asura::voxel::depositParticles(box, {0, 0, 0}, 60.0, vp, kernel);
@@ -157,5 +222,159 @@ int main() {
   std::printf("\ntrained-vs-untrained improvement: rho PDF %.2fx, T PDF %.2fx\n",
               s_raw.rho_l1 / std::max(s_trained.rho_l1, 1e-9),
               s_raw.temp_l1 / std::max(s_trained.temp_l1, 1e-9));
+
+  // Accuracy budget: the trained surrogate must beat the identity ablation
+  // on both PDFs and land within a generous energy bracket of the oracle.
+  const bool accuracy_ok = s_trained.rho_l1 <= s_raw.rho_l1 &&
+                           s_trained.temp_l1 <= s_raw.temp_l1 &&
+                           s_trained.energy > 0.2 && s_trained.energy < 5.0;
+
+  // ---- Part 2: many-SN throughput --------------------------------------
+  const int n_regions = smoke ? 6 : 32;
+  const int n_parts = smoke ? 800 : 2000;
+  std::vector<asura::core::SurrogateRequest> requests;
+  for (int i = 0; i < n_regions; ++i) {
+    asura::core::SurrogateRequest rq;
+    rq.region = turbulentBox(500 + static_cast<std::uint64_t>(i), n_parts);
+    rq.sn_pos = {0, 0, 0};
+    rq.energy = asura::units::E_SN;
+    rq.horizon = horizon;
+    requests.push_back(std::move(rq));
+  }
+
+  auto run_sequential = [&](bool gemm) {
+    asura::ml::setConv3dGemm(gemm);
+    std::vector<std::vector<Particle>> out;
+    const double t0 = nowSeconds();
+    for (const auto& rq : requests) {
+      out.push_back(trained.predict(rq.region, rq.sn_pos, rq.energy, rq.horizon));
+    }
+    const double dt = nowSeconds() - t0;
+    asura::ml::setConv3dGemm(true);
+    return std::pair<double, std::vector<std::vector<Particle>>>(dt, std::move(out));
+  };
+
+  // Warm-up (page in weights, spin up the OpenMP pool) outside the timers.
+  (void)trained.predict(requests[0].region, {0, 0, 0}, asura::units::E_SN, horizon);
+
+  const auto [t_naive, out_naive] = run_sequential(/*gemm=*/false);
+  const auto [t_seq, out_seq] = run_sequential(/*gemm=*/true);
+
+  const double t0b = nowSeconds();
+  const auto out_batched = trained.predictBatch(requests);
+  const double t_batched = nowSeconds() - t0b;
+
+  const bool bitwise_ok = bitwiseEqual(out_batched, out_seq);
+  const double rps_naive = n_regions / t_naive;
+  const double rps_seq = n_regions / t_seq;
+  const double rps_batched = n_regions / t_batched;
+  const double speedup = rps_batched / rps_naive;
+
+  std::printf("\nmany-SN throughput (%d regions, %d particles each, 16^3 grid):\n",
+              n_regions, n_parts);
+  std::printf("  %-32s %8.1f ms/region  %7.2f regions/s\n",
+              "sequential, naive conv loop", 1e3 * t_naive / n_regions, rps_naive);
+  std::printf("  %-32s %8.1f ms/region  %7.2f regions/s\n",
+              "sequential, im2col GEMM", 1e3 * t_seq / n_regions, rps_seq);
+  std::printf("  %-32s %8.1f ms/region  %7.2f regions/s\n",
+              "batched, im2col GEMM", 1e3 * t_batched / n_regions, rps_batched);
+  std::printf("  batched vs sequential-naive speedup: %.2fx\n", speedup);
+  std::printf("  batched output bitwise == sequential: %s\n", bitwise_ok ? "yes" : "NO");
+
+  // ---- Part 3: raw sgemm kernel ----------------------------------------
+  const int mnk = smoke ? 128 : 256;
+  const std::size_t nn = static_cast<std::size_t>(mnk) * mnk;
+  std::vector<float> ga(nn), gb(nn), gc(nn);
+  asura::util::Pcg32 grng(3, 9);
+  for (auto& v : ga) v = static_cast<float>(grng.uniform(-1, 1));
+  for (auto& v : gb) v = static_cast<float>(grng.uniform(-1, 1));
+  auto time_gemm = [&](auto&& fn, int reps) {
+    fn();  // warm-up
+    const double t0 = nowSeconds();
+    for (int r = 0; r < reps; ++r) fn();
+    const double dt = (nowSeconds() - t0) / reps;
+    return 2.0 * mnk * double(mnk) * mnk / dt / 1e9;  // GF/s
+  };
+  const double gfs_parallel = time_gemm(
+      [&] {
+        std::fill(gc.begin(), gc.end(), 0.0f);
+        asura::ml::sgemmAccParallel(mnk, mnk, mnk, ga.data(), mnk, gb.data(), mnk,
+                                    gc.data(), mnk);
+      },
+      smoke ? 3 : 10);
+  const double gfs_naive = time_gemm(
+      [&] {
+        std::fill(gc.begin(), gc.end(), 0.0f);
+        asura::ml::sgemmAccNaive(mnk, mnk, mnk, ga.data(), mnk, gb.data(), mnk,
+                                 gc.data(), mnk);
+      },
+      smoke ? 1 : 3);
+  std::printf("\nsgemm %dx%dx%d: parallel %.2f GF/s, naive loop %.2f GF/s (%.1fx)\n",
+              mnk, mnk, mnk, gfs_parallel, gfs_naive, gfs_parallel / gfs_naive);
+
+  // ---- Gates + JSON record ---------------------------------------------
+  const bool speedup_ok = smoke || speedup >= 3.0;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"surrogate\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f,
+                 "  \"fixture\": {\"regions\": %d, \"particles_per_region\": %d, "
+                 "\"grid_n\": %d, \"base_width\": %d, \"horizon_myr\": %.3f},\n",
+                 n_regions, n_parts, vp.grid_n, ucfg.base_width, horizon);
+    std::fprintf(f, "  \"accuracy\": {\n");
+    std::fprintf(f, "    \"energy_ratio_trained\": %.6f,\n", s_trained.energy);
+    std::fprintf(f, "    \"rho_pdf_l1_trained\": %.6f,\n", s_trained.rho_l1);
+    std::fprintf(f, "    \"temp_pdf_l1_trained\": %.6f,\n", s_trained.temp_l1);
+    std::fprintf(f, "    \"rho_pdf_l1_untrained\": %.6f,\n", s_raw.rho_l1);
+    std::fprintf(f, "    \"temp_pdf_l1_untrained\": %.6f\n", s_raw.temp_l1);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"throughput\": {\n");
+    std::fprintf(f,
+                 "    \"sequential_naive\": {\"ms_per_region\": %.3f, "
+                 "\"regions_per_s\": %.3f},\n",
+                 1e3 * t_naive / n_regions, rps_naive);
+    std::fprintf(f,
+                 "    \"sequential_gemm\": {\"ms_per_region\": %.3f, "
+                 "\"regions_per_s\": %.3f},\n",
+                 1e3 * t_seq / n_regions, rps_seq);
+    std::fprintf(f,
+                 "    \"batched_gemm\": {\"ms_per_region\": %.3f, "
+                 "\"regions_per_s\": %.3f},\n",
+                 1e3 * t_batched / n_regions, rps_batched);
+    std::fprintf(f, "    \"speedup_batched_vs_naive\": %.3f,\n", speedup);
+    std::fprintf(f, "    \"batched_bitwise_matches_sequential\": %s\n",
+                 bitwise_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"sgemm\": {\"mnk\": %d, \"parallel_gflops\": %.3f, "
+                 "\"naive_gflops\": %.3f},\n",
+                 mnk, gfs_parallel, gfs_naive);
+    std::fprintf(f,
+                 "  \"gates\": {\"accuracy\": %s, \"bitwise\": %s, \"speedup_3x\": "
+                 "%s}\n",
+                 accuracy_ok ? "true" : "false", bitwise_ok ? "true" : "false",
+                 speedup_ok ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not open %s for writing\n", out_path.c_str());
+  }
+
+  if (!bitwise_ok) {
+    std::fprintf(stderr, "FAIL: batched output is not bitwise identical to sequential\n");
+    return 1;
+  }
+  if (!accuracy_ok) {
+    std::fprintf(stderr, "FAIL: trained surrogate missed the accuracy budget\n");
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr, "FAIL: batched GEMM speedup %.2fx < 3x over naive\n", speedup);
+    return 1;
+  }
   return 0;
 }

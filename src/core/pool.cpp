@@ -52,7 +52,7 @@ std::vector<std::vector<Particle>> PoolNodeScheduler::collectDue(long step) {
 
   std::vector<std::vector<Particle>> out;
   auto it = results_.begin();
-  while (it != results_.end() && it->first <= step) {
+  while (it != results_.end() && it->first.first <= step) {
     out.push_back(std::move(it->second));
     it = results_.erase(it);
   }
@@ -89,6 +89,31 @@ std::uint64_t PoolNodeScheduler::jobsTimedOut() const {
   return timed_out_;
 }
 
+std::uint64_t PoolNodeScheduler::jobsFallbackTimedOut() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return fallback_timed_out_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsOverrun() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return overrun_;
+}
+
+std::uint64_t PoolNodeScheduler::batchCalls() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return batch_calls_;
+}
+
+std::uint64_t PoolNodeScheduler::jobsCoalesced() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return coalesced_;
+}
+
+std::uint64_t PoolNodeScheduler::nextJobId() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return next_job_id_;
+}
+
 std::vector<PoolNodeScheduler::PendingResult> PoolNodeScheduler::snapshotResults() {
   std::unique_lock<std::mutex> lk(mutex_);
   // Drain: a queued or running job cannot be serialized mid-flight, so the
@@ -98,45 +123,95 @@ std::vector<PoolNodeScheduler::PendingResult> PoolNodeScheduler::snapshotResults
   done_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
   std::vector<PendingResult> out;
   out.reserve(results_.size());
-  for (const auto& [release, region] : results_) out.push_back({release, region});
-  // Equal-release results sit in completion order (scheduling-dependent);
-  // canonicalize by first particle id so the checkpoint bytes are stable.
-  std::sort(out.begin(), out.end(), [](const PendingResult& a, const PendingResult& b) {
-    const std::uint64_t ia = a.region.empty() ? 0 : a.region.front().id;
-    const std::uint64_t ib = b.region.empty() ? 0 : b.region.front().id;
-    return std::pair(a.release_step, ia) < std::pair(b.release_step, ib);
-  });
+  // results_ is ordered by the unique (release_step, job_id) key — already
+  // canonical, no content-derived sort. Entries restored from a v1
+  // checkpoint all carry the job_id 0 sentinel; the multimap keeps those in
+  // insertion order, which is the (stable) order the checkpoint listed them.
+  for (const auto& [key, region] : results_) {
+    out.push_back({key.first, key.second, region});
+  }
   return out;
 }
 
-void PoolNodeScheduler::restoreResults(std::vector<PendingResult> results) {
+void PoolNodeScheduler::restoreResults(std::vector<PendingResult> results,
+                                       std::uint64_t next_job_id) {
   std::lock_guard<std::mutex> lk(mutex_);
   results_.clear();
-  for (auto& r : results) results_.emplace(r.release_step, std::move(r.region));
+  for (auto& r : results) {
+    results_.emplace(std::make_pair(r.release_step, r.job_id), std::move(r.region));
+  }
+  if (next_job_id != 0) next_job_id_ = next_job_id;
 }
 
-std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) {
+std::vector<std::vector<Particle>> PoolNodeScheduler::runBatch(
+    const std::vector<Job>& jobs) {
+  const std::size_t nb = jobs.size();
+  std::vector<std::vector<Particle>> out(nb);
+  std::vector<char> done(nb, 0);
+
+  // Batched primary attempt — attempt 0 for every job in the batch, under
+  // one shared deadline. A backend that polls util::checkJobDeadline()
+  // (UNet3D::forward checks between layer stages) aborts the whole call
+  // with DeadlineExceeded; the jobs then finish through the per-job ladder.
+  try {
+    std::vector<SurrogateRequest> reqs;
+    reqs.reserve(nb);
+    for (const auto& j : jobs) {
+      reqs.push_back({j.region, j.sn_pos, j.energy, j.horizon});
+    }
+    util::JobDeadlineScope deadline(job_timeout_s_);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = backend_->predictBatch(std::move(reqs));
+    const std::chrono::duration<double> el = std::chrono::steady_clock::now() - t0;
+    if (job_timeout_s_ > 0.0 && el.count() > job_timeout_s_) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++overrun_;  // completed late (backend never polled); result still used
+    }
+    if (res.size() == nb) {
+      for (std::size_t i = 0; i < nb; ++i) {
+        if (validatePrediction(jobs[i].region, res[i]).empty()) {
+          out[i] = std::move(res[i]);
+          done[i] = 1;
+        }
+      }
+    }
+  } catch (const util::DeadlineExceeded&) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++timed_out_;  // the cancelled batched attempt
+  } catch (...) {
+  }
+
+  // Per-job completion for whatever the batch did not satisfy. The batched
+  // call was attempt 0, so each unsatisfied job has retry_budget_ primary
+  // retries left; entering the first of them is what jobsRetried counts.
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (done[i]) continue;
+    if (retry_budget_ > 0) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++retried_;
+    }
+    out[i] = finishDegraded(jobs[i]);
+  }
+  return out;
+}
+
+std::vector<Particle> PoolNodeScheduler::finishDegraded(const Job& job) {
   const auto run = [&](SurrogateBackend& b) {
-    // Arm a cooperative deadline for this worker thread: a backend that
-    // polls util::checkJobDeadline() at its yield points (UNet3D::forward
-    // checks between layer stages) aborts with DeadlineExceeded instead of
-    // holding the worker past the budget. Backends that never poll fall
-    // back to the post-hoc overrun record below.
     util::JobDeadlineScope deadline(job_timeout_s_);
     const auto t0 = std::chrono::steady_clock::now();
     auto out = b.predict(job.region, job.sn_pos, job.energy, job.horizon);
     const std::chrono::duration<double> el = std::chrono::steady_clock::now() - t0;
     if (job_timeout_s_ > 0.0 && el.count() > job_timeout_s_) {
       std::lock_guard<std::mutex> lk(mutex_);
-      ++timed_out_;
+      ++overrun_;
     }
     return out;
   };
 
-  // Primary attempt plus retries. A backend that *throws* is treated the
-  // same as one returning a contract violation; a cancelled (timed-out)
-  // attempt additionally counts toward jobsTimedOut.
-  for (int attempt = 0; attempt <= retry_budget_; ++attempt) {
+  // Remaining primary attempts (attempt 0 was the batched call). A backend
+  // that *throws* is treated the same as one returning a contract
+  // violation; a cancelled attempt additionally counts in jobsTimedOut.
+  for (int attempt = 1; attempt <= retry_budget_; ++attempt) {
     try {
       auto out = run(*backend_);
       if (validatePrediction(job.region, out).empty()) return out;
@@ -152,7 +227,8 @@ std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) 
   }
 
   // Degrade to the fallback backend (per-region, not globally: later jobs
-  // still try the primary first).
+  // still try the primary first). A cancelled fallback attempt lands in its
+  // own counter — it is a statement about the ladder, not the primary.
   if (fallback_) {
     try {
       auto out = run(*fallback_);
@@ -163,7 +239,7 @@ std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) 
       }
     } catch (const util::DeadlineExceeded&) {
       std::lock_guard<std::mutex> lk(mutex_);
-      ++timed_out_;
+      ++fallback_timed_out_;
     } catch (...) {
     }
   }
@@ -180,23 +256,42 @@ std::vector<Particle> PoolNodeScheduler::predictWithDegradation(const Job& job) 
 
 void PoolNodeScheduler::workerLoop() {
   for (;;) {
-    Job job;
+    std::vector<Job> batch;
     {
       std::unique_lock<std::mutex> lk(mutex_);
       work_cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
       if (shutdown_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++in_flight_;
-      in_flight_releases_.insert(job.release_step);
+      // Coalesce: take an even share of the queue, capped by max_batch_ —
+      // a lone worker sweeps a starburst into one batched forward, while a
+      // full worker pool still splits the queue instead of one worker
+      // hoarding it.
+      const auto qs = queue_.size();
+      const auto share = (qs + static_cast<std::size_t>(n_pool_) - 1) /
+                         static_cast<std::size_t>(n_pool_);
+      const auto take =
+          std::min({qs, std::max<std::size_t>(1, share),
+                    static_cast<std::size_t>(max_batch_)});
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        in_flight_releases_.insert(batch.back().release_step);
+      }
+      in_flight_ += static_cast<int>(take);
+      ++batch_calls_;
+      if (take > 1) coalesced_ += take;
     }
-    auto prediction = predictWithDegradation(job);
+    if (batch.size() > 1) work_cv_.notify_one();  // queue may still be non-empty
+    auto predictions = runBatch(batch);
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      results_.emplace(job.release_step, std::move(prediction));
-      in_flight_releases_.erase(in_flight_releases_.find(job.release_step));
-      --in_flight_;
-      ++completed_;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        results_.emplace(std::make_pair(batch[i].release_step, batch[i].id),
+                         std::move(predictions[i]));
+        in_flight_releases_.erase(in_flight_releases_.find(batch[i].release_step));
+        ++completed_;
+      }
+      in_flight_ -= static_cast<int>(batch.size());
     }
     done_cv_.notify_all();
   }

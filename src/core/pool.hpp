@@ -13,6 +13,12 @@
 /// integration loop) keeps stepping. A job submitted at global step s is
 /// delivered back at step s + return_interval (the paper's 50-step cadence:
 /// dt_global = 2,000 yr x 50 steps = 0.1 Myr = the prediction horizon).
+///
+/// Concurrently-queued jobs are coalesced into one predictBatch call (see
+/// setMaxBatch): a starburst that fires many SNe in one step runs them as a
+/// single batched network forward instead of one forward per region. The
+/// batched results are bitwise identical to per-region prediction — batching
+/// is invisible in the output, it only changes throughput.
 
 #include <condition_variable>
 #include <cstdint>
@@ -22,6 +28,7 @@
 #include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/surrogate.hpp"
@@ -42,9 +49,10 @@ class PoolNodeScheduler {
   void submit(long step, std::vector<Particle> region, const Vec3d& sn_pos,
               double energy, double horizon);
 
-  /// All predictions scheduled for delivery at or before `step`. Blocks
-  /// until those workers finish (the paper's synchronization point: results
-  /// come back after exactly 50 global steps).
+  /// All predictions scheduled for delivery at or before `step`, in
+  /// (release_step, job id) order. Blocks until those workers finish (the
+  /// paper's synchronization point: results come back after exactly 50
+  /// global steps).
   [[nodiscard]] std::vector<std::vector<Particle>> collectDue(long step);
 
   [[nodiscard]] int pendingJobs() const;
@@ -52,14 +60,27 @@ class PoolNodeScheduler {
   [[nodiscard]] long returnInterval() const { return return_interval_; }
   [[nodiscard]] int poolNodes() const { return n_pool_; }
 
+  /// Most jobs a worker dequeues into one predictBatch call (default 8,
+  /// clamped to >= 1; 1 disables coalescing). Configure before the first
+  /// submit, like the degradation knobs below.
+  void setMaxBatch(int max_batch) { max_batch_ = max_batch < 1 ? 1 : max_batch; }
+  [[nodiscard]] int maxBatch() const { return max_batch_; }
+
+  /// predictBatch calls issued by workers (each covers >= 1 jobs).
+  [[nodiscard]] std::uint64_t batchCalls() const;
+  /// Jobs that shared a predictBatch call with at least one other job.
+  [[nodiscard]] std::uint64_t jobsCoalesced() const;
+
   // --- graceful degradation -------------------------------------------------
   // Every completed job is checked against the prediction contract
   // (validatePrediction). A throwing or contract-violating primary backend is
   // retried up to the retry budget, then the job degrades to the fallback
   // backend (typically SedovOracleBackend); if the fallback also fails, the
   // job returns its input region unchanged (identity prediction: mass and
-  // ids trivially conserved, the particles just unfreeze). Configure before
-  // the first submit — the knobs are read by worker threads without locks.
+  // ids trivially conserved, the particles just unfreeze). A batched attempt
+  // that fails for SOME jobs only degrades those jobs — the rest keep their
+  // batched result. Configure before the first submit — the knobs are read
+  // by worker threads without locks.
 
   /// Backend a contract-violating job degrades to (null: skip to identity).
   void setFallbackBackend(std::shared_ptr<SurrogateBackend> fallback) {
@@ -67,14 +88,13 @@ class PoolNodeScheduler {
   }
   /// Primary-backend retries before degrading (default 1).
   void setRetryBudget(int retries) { retry_budget_ = retries < 0 ? 0 : retries; }
-  /// Wall-clock budget per predict call [s]. Enforced cooperatively: each
-  /// attempt runs under a util::JobDeadlineScope, and backends that poll
-  /// util::checkJobDeadline() at their yield points (UNet3D::forward checks
-  /// between layer stages) abort mid-prediction with DeadlineExceeded — the
-  /// job then degrades through the ordinary retry/fallback/identity ladder.
-  /// Cancelled and overrunning attempts both count in jobsTimedOut; a
-  /// backend that never polls is still *recorded* when the call returns,
-  /// just not preempted. <= 0 disables the budget.
+  /// Wall-clock budget per predict/predictBatch call [s]. Enforced
+  /// cooperatively: each attempt runs under a util::JobDeadlineScope, and
+  /// backends that poll util::checkJobDeadline() at their yield points
+  /// (UNet3D::forward checks between layer stages) abort mid-prediction
+  /// with DeadlineExceeded — the job then degrades through the ordinary
+  /// retry/fallback/identity ladder. A batched call shares one budget
+  /// across its jobs. <= 0 disables the budget.
   void setJobTimeout(double seconds) { job_timeout_s_ = seconds; }
 
   /// Jobs whose result came from the fallback backend (or the identity
@@ -84,28 +104,57 @@ class PoolNodeScheduler {
   [[nodiscard]] std::uint64_t jobsFailed() const;
   /// Primary predict calls re-run after an exception/contract violation.
   [[nodiscard]] std::uint64_t jobsRetried() const;
-  /// Predict calls that overran the job timeout (see setJobTimeout).
+
+  // Timeout accounting. The three counters are disjoint by construction:
+  //  * jobsTimedOut — PRIMARY attempts cancelled by the deadline
+  //    (DeadlineExceeded; the attempt's result was discarded).
+  //  * jobsFallbackTimedOut — FALLBACK attempts cancelled by the deadline.
+  //    Kept separate: a fallback overrun means the degradation ladder
+  //    itself is too slow, a very different signal from a slow primary.
+  //  * jobsOverrun — attempts that ran to completion past the budget (a
+  //    backend that never polls checkJobDeadline can't be preempted); the
+  //    result still entered validation and may well have been used.
+  // (The pre-fix code folded all three into jobsTimedOut, so a slow but
+  // perfectly successful prediction was indistinguishable from a cancelled
+  // one, and fallback cancellations inflated the primary's count.)
   [[nodiscard]] std::uint64_t jobsTimedOut() const;
+  [[nodiscard]] std::uint64_t jobsFallbackTimedOut() const;
+  [[nodiscard]] std::uint64_t jobsOverrun() const;
 
   // --- checkpoint support ---------------------------------------------------
 
-  /// A prediction waiting for its release step.
+  /// A prediction waiting for its release step. `job_id` is the scheduler's
+  /// monotone submission id — it makes the (release_step, job_id) key unique
+  /// so checkpoint ordering never falls back to a content-derived tie-break.
+  /// Snapshots written before job ids were serialized restore with the 0
+  /// sentinel (see restoreResults).
   struct PendingResult {
     long release_step = 0;
+    std::uint64_t job_id = 0;
     std::vector<Particle> region;
   };
 
   /// Drain the pipeline (blocks until no job is queued or running) and
-  /// return every undelivered prediction, ordered by (release_step, first
-  /// particle id) — completion order is scheduling-dependent, so the
-  /// checkpoint bytes need the canonical sort. The results stay in the
-  /// scheduler; this is a copy.
+  /// return every undelivered prediction in (release_step, job_id) order —
+  /// the scheduler's own storage order, unique per job, so the checkpoint
+  /// bytes are identical however worker scheduling interleaved. (The pre-fix
+  /// sort keyed equal-release ties on the first particle id with 0 for empty
+  /// regions, so two empty-region predictions at one release step could swap
+  /// between otherwise identical runs.) The results stay in the scheduler;
+  /// this is a copy.
   [[nodiscard]] std::vector<PendingResult> snapshotResults();
 
-  /// Replace the undelivered-prediction set (restore path). Queued/running
-  /// jobs are not representable in a snapshot: the caller checkpoints
-  /// between steps *after* snapshotResults drained the pipeline.
-  void restoreResults(std::vector<PendingResult> results);
+  /// Replace the undelivered-prediction set (restore path). `next_job_id`
+  /// restores the submission counter so a resumed run hands out the same
+  /// ids the continuous run would have — 0 (the v1-checkpoint sentinel)
+  /// leaves the counter alone. Queued/running jobs are not representable in
+  /// a snapshot: the caller checkpoints between steps *after*
+  /// snapshotResults drained the pipeline.
+  void restoreResults(std::vector<PendingResult> results,
+                      std::uint64_t next_job_id = 0);
+
+  /// The id the next submitted job will get (for checkpoint serialization).
+  [[nodiscard]] std::uint64_t nextJobId() const;
 
  private:
   struct Job {
@@ -118,22 +167,30 @@ class PoolNodeScheduler {
   };
 
   void workerLoop();
-  /// Run the job through primary -> retries -> fallback -> identity,
-  /// recording degradation counters. Called without the lock held.
-  [[nodiscard]] std::vector<Particle> predictWithDegradation(const Job& job);
+  /// One batched primary attempt for the whole batch, then the per-job
+  /// degradation ladder for any job the batch did not satisfy. Called
+  /// without the lock held; returns one prediction per job.
+  [[nodiscard]] std::vector<std::vector<Particle>> runBatch(
+      const std::vector<Job>& jobs);
+  /// Remaining primary retries -> fallback -> identity for one job whose
+  /// batched attempt (attempt 0) failed. Called without the lock held.
+  [[nodiscard]] std::vector<Particle> finishDegraded(const Job& job);
 
   std::shared_ptr<SurrogateBackend> backend_;
   std::shared_ptr<SurrogateBackend> fallback_;
   int n_pool_;
   long return_interval_;
   int retry_budget_ = 1;
+  int max_batch_ = 8;
   double job_timeout_s_ = 0.0;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   ///< wakes workers
   std::condition_variable done_cv_;   ///< wakes collectDue
   std::deque<Job> queue_;
-  std::multimap<long, std::vector<Particle>> results_;  ///< release step -> prediction
+  /// (release step, job id) -> prediction. The unique key keeps delivery
+  /// and snapshot order canonical without content-derived tie-breaks.
+  std::multimap<std::pair<long, std::uint64_t>, std::vector<Particle>> results_;
   std::multiset<long> in_flight_releases_;  ///< release steps of running jobs
   int in_flight_ = 0;
   std::uint64_t next_job_id_ = 1;
@@ -142,6 +199,10 @@ class PoolNodeScheduler {
   std::uint64_t failed_ = 0;
   std::uint64_t retried_ = 0;
   std::uint64_t timed_out_ = 0;
+  std::uint64_t fallback_timed_out_ = 0;
+  std::uint64_t overrun_ = 0;
+  std::uint64_t batch_calls_ = 0;
+  std::uint64_t coalesced_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
 };

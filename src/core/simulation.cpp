@@ -28,6 +28,7 @@ Simulation::Simulation(std::vector<Particle> particles, SimulationConfig cfg,
     if (!backend_) backend_ = std::make_shared<SedovOracleBackend>();
     pool_ = std::make_unique<PoolNodeScheduler>(backend_, cfg_.n_pool_nodes,
                                                 cfg_.return_interval);
+    pool_->setMaxBatch(cfg_.surrogate_max_batch);
     // Graceful degradation: a job whose primary prediction throws or breaks
     // the contract (validatePrediction) retries, then falls back per-region
     // to the physics oracle — the training target doubles as the
@@ -1224,7 +1225,12 @@ void Simulation::validateStepInvariants() {
 
 namespace {
 
-constexpr std::uint32_t kStateVersion = 1;
+// v2: pending pool predictions carry their job id, the pool's submission
+// counter is serialized, and the config gains surrogate_max_batch. v1
+// checkpoints still restore (job_id 0 sentinel, counter untouched, default
+// batch knob).
+constexpr std::uint32_t kStateVersion = 2;
+constexpr std::uint32_t kMinStateVersion = 1;
 
 void putConfig(io::ByteWriter& w, const SimulationConfig& c) {
   w.putF64(c.dt_global);
@@ -1271,9 +1277,10 @@ void putConfig(io::ByteWriter& w, const SimulationConfig& c) {
   w.putBool(c.validate_steps);
   w.putString(c.abort_checkpoint_path);
   w.putU64(c.seed);
+  w.putI32(c.surrogate_max_batch);  // v2+
 }
 
-SimulationConfig getConfig(io::ByteReader& r) {
+SimulationConfig getConfig(io::ByteReader& r, std::uint32_t version) {
   SimulationConfig c;
   c.dt_global = r.getF64();
   c.use_surrogate = r.getBool();
@@ -1319,6 +1326,7 @@ SimulationConfig getConfig(io::ByteReader& r) {
   c.validate_steps = r.getBool();
   c.abort_checkpoint_path = r.getString();
   c.seed = r.getU64();
+  if (version >= 2) c.surrogate_max_batch = r.getI32();
   return c;
 }
 
@@ -1354,10 +1362,15 @@ void Simulation::serializeState(io::ByteWriter& w) {
     w.putVector(pending, [](io::ByteWriter& ww,
                             const PoolNodeScheduler::PendingResult& pr) {
       ww.putI64(pr.release_step);
+      ww.putU64(pr.job_id);  // v2+
       ww.putVector(pr.region, [](io::ByteWriter& w3, const Particle& p) {
         io::putParticle(w3, p);
       });
     });
+    // The submission counter (v2+): without it a restored run would hand
+    // out ids from 1 again, and the NEXT checkpoint's pending keys would
+    // diverge from the continuous run's.
+    w.putU64(pool_->nextJobId());
   }
 
   // Exchange cache + engine state: restoring these keeps the cache-reuse
@@ -1400,11 +1413,11 @@ void Simulation::serializeState(io::ByteWriter& w) {
 
 void Simulation::restoreState(io::ByteReader& r) {
   const auto version = r.getU32();
-  if (version != kStateVersion) {
+  if (version < kMinStateVersion || version > kStateVersion) {
     throw std::runtime_error("checkpoint: unsupported state version " +
                              std::to_string(version));
   }
-  SimulationConfig saved = getConfig(r);
+  SimulationConfig saved = getConfig(r, version);
   // The pool and the engine are construction-time objects; their shaping
   // knobs cannot be replayed into a live instance and must match.
   if (saved.use_surrogate != cfg_.use_surrogate) {
@@ -1445,15 +1458,17 @@ void Simulation::restoreState(io::ByteReader& r) {
   }
   if (pool_) {
     auto pending = r.getVector<PoolNodeScheduler::PendingResult>(
-        [](io::ByteReader& rr) {
+        [version](io::ByteReader& rr) {
           PoolNodeScheduler::PendingResult pr;
           pr.release_step = rr.getI64();
+          if (version >= 2) pr.job_id = rr.getU64();  // v1: 0 sentinel
           pr.region = rr.getVector<Particle>([](io::ByteReader& r3) {
             return io::getParticle(r3);
           });
           return pr;
         });
-    pool_->restoreResults(std::move(pending));
+    const std::uint64_t next_job_id = version >= 2 ? r.getU64() : 0;
+    pool_->restoreResults(std::move(pending), next_job_id);
     fallback_baseline_ = pool_->jobsFallback();
   }
 

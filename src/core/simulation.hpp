@@ -184,6 +184,10 @@ struct SimulationConfig {
   double surrogate_horizon = 0.1; ///< Myr (= 50 x 2,000 yr)
   long return_interval = 50;      ///< steps until predictions come back
   int n_pool_nodes = 4;           ///< worker threads (paper: <50 nodes)
+  /// Most concurrently-queued SN jobs one pool worker coalesces into a
+  /// single batched network forward (1 disables batching). Output is
+  /// bitwise independent of this knob — it is throughput only.
+  int surrogate_max_batch = 8;
 
   // --- kernel backend ---
   /// PIKG-generated kernel backend for every force pass (gravity MixedF32,

@@ -75,6 +75,7 @@ std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region
   (void)energy;
   (void)horizon;
   if (region.empty()) return region;
+  ml::InferenceModeScope inference;
   util::Pcg32 job_rng(seed_, jobStream(region, sn_pos));
   // Fig. 3 pipeline: particles -> 5-field voxel cube -> 8 log channels ->
   // U-Net -> decode -> Gibbs-sample particles (ids & masses preserved).
@@ -89,6 +90,69 @@ std::vector<Particle> UNetSurrogateBackend::predict(std::vector<Particle> region
   for (std::size_t i = 0; i < predicted.numel(); ++i) predicted[i] += channels[i];
   const auto out_grid = voxel::decodeGrid(predicted, box_size_, grid.origin, vparams_);
   return voxel::gridToParticles(out_grid, region, vparams_, job_rng);
+}
+
+std::vector<std::vector<Particle>> UNetSurrogateBackend::predictBatch(
+    std::vector<SurrogateRequest> requests) {
+  std::vector<std::vector<Particle>> out(requests.size());
+  // Empty regions bypass the network entirely, exactly like predict()'s
+  // early return — they must not occupy a batch slot (an all-zero cube
+  // would still be voxel-decoded, changing nothing but wasting a forward).
+  std::vector<std::size_t> live;
+  live.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].region.empty()) {
+      out[i] = std::move(requests[i].region);
+    } else {
+      live.push_back(i);
+    }
+  }
+  if (live.empty()) return out;
+
+  ml::InferenceModeScope inference;
+  const sph::Kernel kernel{};
+  const int m = static_cast<int>(live.size());
+
+  // Stage 1: voxelize + encode each region (independent -> parallel).
+  std::vector<voxel::VoxelGrid> grids(live.size());
+  std::vector<ml::Tensor> enc(live.size());
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < m; ++j) {
+    const auto& rq = requests[live[static_cast<std::size_t>(j)]];
+    grids[static_cast<std::size_t>(j)] =
+        voxel::depositParticles(rq.region, rq.sn_pos, box_size_, vparams_, kernel);
+    enc[static_cast<std::size_t>(j)] =
+        voxel::encodeGrid(grids[static_cast<std::size_t>(j)], vparams_);
+  }
+
+  // Stage 2: stack along the batch dimension, ONE network forward.
+  const auto& s0 = enc[0].shape();  // (C, D, H, W)
+  ml::Tensor x({m, s0[0], s0[1], s0[2], s0[3]});
+  const std::size_t per = enc[0].numel();
+  for (int j = 0; j < m; ++j) {
+    std::copy(enc[static_cast<std::size_t>(j)].data(),
+              enc[static_cast<std::size_t>(j)].data() + per,
+              x.data() + static_cast<std::size_t>(j) * per);
+  }
+  auto y = net_.forward(x);
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] += x[i];  // residual
+
+  // Stage 3: de-voxelize per region with each job's private rng stream —
+  // the same (seed, jobStream) derivation as predict(), so the sampled
+  // particles don't depend on who shared the batch.
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < m; ++j) {
+    const std::size_t i = live[static_cast<std::size_t>(j)];
+    const auto& rq = requests[i];
+    ml::Tensor slice({s0[0], s0[1], s0[2], s0[3]});
+    std::copy(y.data() + static_cast<std::size_t>(j) * per,
+              y.data() + static_cast<std::size_t>(j + 1) * per, slice.data());
+    util::Pcg32 job_rng(seed_, jobStream(rq.region, rq.sn_pos));
+    const auto out_grid = voxel::decodeGrid(
+        slice, box_size_, grids[static_cast<std::size_t>(j)].origin, vparams_);
+    out[i] = voxel::gridToParticles(out_grid, rq.region, vparams_, job_rng);
+  }
+  return out;
 }
 
 }  // namespace asura::core

@@ -29,6 +29,14 @@ namespace asura::core {
 using fdps::Particle;
 using util::Vec3d;
 
+/// One SN region awaiting prediction — the unit the pool scheduler batches.
+struct SurrogateRequest {
+  std::vector<Particle> region;
+  Vec3d sn_pos;
+  double energy = 0.0;
+  double horizon = 0.0;
+};
+
 class SurrogateBackend {
  public:
   virtual ~SurrogateBackend() = default;
@@ -38,6 +46,23 @@ class SurrogateBackend {
   [[nodiscard]] virtual std::vector<Particle> predict(std::vector<Particle> region,
                                                       const Vec3d& sn_pos, double energy,
                                                       double horizon) = 0;
+
+  /// Predict several regions in one call. Output i corresponds to request i
+  /// and must be bitwise identical to what predict() would have returned for
+  /// it alone — batching is a throughput optimization, never a semantic one
+  /// (the pool's batched-vs-sequential determinism contract). The default
+  /// just loops predict(); backends with real batch leverage (the U-Net's
+  /// leading tensor dimension) override it.
+  [[nodiscard]] virtual std::vector<std::vector<Particle>> predictBatch(
+      std::vector<SurrogateRequest> requests) {
+    std::vector<std::vector<Particle>> out;
+    out.reserve(requests.size());
+    for (auto& r : requests) {
+      out.push_back(predict(std::move(r.region), r.sn_pos, r.energy, r.horizon));
+    }
+    return out;
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -76,6 +101,13 @@ class UNetSurrogateBackend final : public SurrogateBackend {
   [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
                                               const Vec3d& sn_pos, double energy,
                                               double horizon) override;
+
+  /// Stacks the non-empty regions' voxel encodings along the tensor batch
+  /// dimension and runs ONE network forward, then de-voxelizes per region
+  /// with each job's private rng stream. Bitwise identical to per-region
+  /// predict() at any batch size (see ml/gemm.hpp for why).
+  [[nodiscard]] std::vector<std::vector<Particle>> predictBatch(
+      std::vector<SurrogateRequest> requests) override;
 
   [[nodiscard]] std::string name() const override { return "unet"; }
 

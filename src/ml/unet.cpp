@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <string>
 
 #include "util/deadline.hpp"
 
@@ -10,6 +11,41 @@ namespace asura::ml {
 namespace {
 util::Pcg32 makeRng(std::uint64_t seed, std::uint64_t stream) {
   return util::Pcg32(seed, stream);
+}
+
+int channelDim(const Tensor& t) {
+  return t.shape().size() == 5 ? t.dim(1) : t.dim(0);
+}
+
+/// Validate shapes at the entry point so callers get one descriptive error
+/// instead of an index fault four layers deep (a bad voxel grid config used
+/// to surface as "MaxPool3d: odd dims" from inside pool2_).
+void validateInput(const Tensor& x, const UNetConfig& cfg) {
+  const auto& s = x.shape();
+  if (s.size() != 4 && s.size() != 5) {
+    throw std::invalid_argument(
+        "UNet3D::forward: expected 4-D (C,D,H,W) or 5-D (N,C,D,H,W) input, got rank " +
+        std::to_string(s.size()));
+  }
+  const int c = s.size() == 5 ? s[1] : s[0];
+  if (c != cfg.in_channels) {
+    throw std::invalid_argument("UNet3D::forward: input has " + std::to_string(c) +
+                                " channels, network expects " +
+                                std::to_string(cfg.in_channels));
+  }
+  const char* names[3] = {"D", "H", "W"};
+  for (int i = 0; i < 3; ++i) {
+    const int dim = s[s.size() - 3 + i];
+    if (dim <= 0 || dim % 4 != 0) {
+      throw std::invalid_argument(
+          "UNet3D::forward: spatial dim " + std::string(names[i]) + "=" +
+          std::to_string(dim) +
+          " must be a positive multiple of 4 (two 2x pooling stages)");
+    }
+  }
+  if (s.size() == 5 && s[0] <= 0) {
+    throw std::invalid_argument("UNet3D::forward: batch dimension must be positive");
+  }
 }
 }  // namespace
 
@@ -28,6 +64,7 @@ UNet3D::UNet3D(const UNetConfig& cfg, std::uint64_t seed)
       out_([&] { auto r = makeRng(seed, 11); return Conv3d(cfg.base_width, cfg.out_channels, 1, r); }()) {}
 
 Tensor UNet3D::forward(const Tensor& x) {
+  validateInput(x, cfg_);
   // Stage boundaries double as cooperative cancellation points: when the
   // pool armed a job deadline (PoolNodeScheduler::setJobTimeout), an
   // overrunning inference aborts here with util::DeadlineExceeded instead
@@ -35,11 +72,11 @@ Tensor UNet3D::forward(const Tensor& x) {
   util::checkJobDeadline();
   // Encoder stage 1.
   Tensor e1 = r_e1b_.forward(e1b_.forward(r_e1a_.forward(e1a_.forward(x))));
-  e1_channels_ = e1.dim(0);
+  if (!inferenceMode()) e1_channels_ = channelDim(e1);
   util::checkJobDeadline();
   // Encoder stage 2.
   Tensor e2 = r_e2b_.forward(e2b_.forward(r_e2a_.forward(e2a_.forward(pool1_.forward(e1)))));
-  e2_channels_ = e2.dim(0);
+  if (!inferenceMode()) e2_channels_ = channelDim(e2);
   util::checkJobDeadline();
   // Bottleneck.
   Tensor bt = r_bb_.forward(bb_.forward(r_ba_.forward(ba_.forward(pool2_.forward(e2)))));
@@ -58,12 +95,12 @@ void UNet3D::backward(const Tensor& gy) {
   Tensor g = out_.backward(gy);
   g = d1a_.backward(r_d1a_.backward(d1b_.backward(r_d1b_.backward(g))));
   Tensor g_up1, g_e1;
-  splitChannels(g, g.dim(0) - e1_channels_, g_up1, g_e1);
+  splitChannels(g, channelDim(g) - e1_channels_, g_up1, g_e1);
   Tensor g_d2 = up1_.backward(g_up1);
 
   g = d2a_.backward(r_d2a_.backward(d2b_.backward(r_d2b_.backward(g_d2))));
   Tensor g_up2, g_e2;
-  splitChannels(g, g.dim(0) - e2_channels_, g_up2, g_e2);
+  splitChannels(g, channelDim(g) - e2_channels_, g_up2, g_e2);
   Tensor g_bt = up2_.backward(g_up2);
 
   Tensor g_pool2 = ba_.backward(r_ba_.backward(bb_.backward(r_bb_.backward(g_bt))));

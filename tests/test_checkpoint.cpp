@@ -19,6 +19,7 @@
 #include "core/simulation.hpp"
 #include "ic_fixtures.hpp"
 #include "io/checkpoint.hpp"
+#include "io/particle_codec.hpp"
 #include "io/serialize.hpp"
 
 namespace {
@@ -499,6 +500,125 @@ TEST(Checkpoint, InspectReportsDamageWithoutThrowing) {
   insp = asura::io::inspectCheckpoint(path);
   EXPECT_TRUE(insp.truncated);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// State-payload version tolerance (v1 -> v2)
+//
+// The payload version is independent of the file-header version above:
+// state v2 added per-pending job ids, the pool submission counter, and the
+// surrogate_max_batch config field. This pins the exact v1 wire layout —
+// if a field is added or reordered without a version bump, this breaks, and
+// it should.
+// ---------------------------------------------------------------------------
+
+void putConfigV1(asura::io::ByteWriter& w, const SimulationConfig& c) {
+  w.putF64(c.dt_global);
+  w.putBool(c.use_surrogate);
+  w.putBool(c.adaptive_timestep);
+  w.putF64(c.cfl_dt_min);
+  w.putBool(c.hierarchical_timestep);
+  w.putI32(c.max_rung);
+  w.putF64(c.eta_acc);
+  w.putBool(c.timestep_limiter);
+  w.putF64(c.rung_safety);
+  w.putF64(c.sn_box_size);
+  w.putF64(c.surrogate_horizon);
+  w.putI64(c.return_interval);
+  w.putI32(c.n_pool_nodes);
+  w.putU8(static_cast<std::uint8_t>(c.kernel_isa));
+  w.putF64(c.gravity.G);
+  w.putF64(c.gravity.theta);
+  w.putI32(c.gravity.group_size);
+  w.putI32(c.gravity.leaf_size);
+  w.putU8(static_cast<std::uint8_t>(c.gravity.kernel));
+  w.putU8(static_cast<std::uint8_t>(c.gravity.isa));
+  w.putU8(static_cast<std::uint8_t>(c.sph.kernel.type));
+  w.putI32(c.sph.n_ngb);
+  w.putF64(c.sph.alpha_visc);
+  w.putF64(c.sph.beta_visc);
+  w.putF64(c.sph.cfl);
+  w.putI32(c.sph.group_size);
+  w.putI32(c.sph.leaf_size);
+  w.putI32(c.sph.max_h_iterations);
+  w.putF64(c.sph.h_tolerance);
+  w.putU8(static_cast<std::uint8_t>(c.sph.isa));
+  w.putF64(c.star_formation.rho_threshold);
+  w.putF64(c.star_formation.temp_threshold);
+  w.putF64(c.star_formation.efficiency);
+  w.putF64(c.star_formation.mu);
+  w.putF64(c.cooling.temp_floor);
+  w.putF64(c.cooling.temp_ceil);
+  w.putF64(c.cooling.heating_gamma);
+  w.putF64(c.cooling.mu);
+  w.putBool(c.enable_star_formation);
+  w.putBool(c.enable_cooling);
+  w.putF64(c.feedback_radius);
+  w.putBool(c.validate_steps);
+  w.putString(c.abort_checkpoint_path);
+  w.putU64(c.seed);
+  // v1 ends here: no surrogate_max_batch.
+}
+
+TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
+  SimulationConfig cfg = quietConfig();
+  cfg.use_surrogate = true;
+  cfg.return_interval = 3;
+  cfg.n_pool_nodes = 2;
+  const auto ic = gasBall(40, 5.0, 1.0, 13, 3000.0);
+  const auto pending_region = gasBall(6, 2.0, 1.0, 14, 3000.0);
+
+  asura::io::ByteWriter w;
+  w.putU32(1);  // state version 1
+  putConfigV1(w, cfg);
+  w.putF64(0.01);  // t
+  w.putI64(2);     // step
+  w.putF64(0.0);   // last_cfl_dt
+  w.putU64(123);   // rng state
+  w.putU64(456);   // rng inc
+  w.putF64(0.0);   // rng cached normal
+  w.putBool(false);
+  w.putVector(std::vector<double>{}, [](asura::io::ByteWriter& ww, const double& v) {
+    ww.putF64(v);
+  });
+  w.putVector(ic, [](asura::io::ByteWriter& ww, const Particle& p) {
+    asura::io::putParticle(ww, p);
+  });
+  w.putBool(true);  // pool present
+  // v1 pendings: (release_step, region) only — no job id, no counter after.
+  struct V1Pending {
+    long release;
+    std::vector<Particle> region;
+  };
+  const std::vector<V1Pending> pendings{{4, pending_region}, {4, {}}, {4, {}}};
+  w.putVector(pendings, [](asura::io::ByteWriter& ww, const V1Pending& pr) {
+    ww.putI64(pr.release);
+    ww.putVector(pr.region, [](asura::io::ByteWriter& w3, const Particle& p) {
+      asura::io::putParticle(w3, p);
+    });
+  });
+  w.putBool(false);  // no distributed engine
+  const auto bytes = w.take();
+
+  Simulation sim(ic, cfg);
+  asura::io::ByteReader r(bytes.data(), bytes.size());
+  sim.restoreState(r);
+
+  EXPECT_EQ(sim.stepCount(), 2);
+  ASSERT_NE(sim.pool(), nullptr);
+  const auto restored = sim.pool()->snapshotResults();
+  ASSERT_EQ(restored.size(), 3u);
+  EXPECT_EQ(restored[0].release_step, 4);
+  EXPECT_EQ(restored[0].job_id, 0u) << "v1 pendings restore with the 0 sentinel";
+  EXPECT_EQ(restored[0].region.size(), pending_region.size());
+  EXPECT_TRUE(restored[1].region.empty());
+  EXPECT_EQ(sim.pool()->nextJobId(), 1u) << "v1 restore must not touch the counter";
+
+  // Re-serialization upgrades the payload in place: version word now 2.
+  asura::io::ByteWriter w2;
+  sim.serializeState(w2);
+  asura::io::ByteReader r2(w2.bytes().data(), w2.bytes().size());
+  EXPECT_EQ(r2.getU32(), 2u);
 }
 
 }  // namespace

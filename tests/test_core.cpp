@@ -101,6 +101,48 @@ TEST(Pool, PredictionRunsWhileCallerWorks) {
   EXPECT_EQ(pool.collectDue(5).size(), 1u);
 }
 
+TEST(Pool, SnapshotOrderStableForTiedPendings) {
+  // Regression for the checkpoint tie-break: equal-release pendings used to
+  // be sorted by their first particle id, with 0 for EMPTY regions — two
+  // drained empty-region predictions at one release step then compared
+  // equal and kept scheduling-dependent order. The snapshot now keys on the
+  // (release_step, job_id) pair, which is unique by construction, so the
+  // order is the submission order however workers interleaved.
+  for (int round = 0; round < 10; ++round) {
+    PoolNodeScheduler pool(std::make_shared<asura::core::NullBackend>(), 4, 5);
+    for (int j = 0; j < 4; ++j) {
+      pool.submit(0, {}, {0, 0, 0}, asura::units::E_SN, 0.1);  // empty regions
+    }
+    const auto pending = pool.snapshotResults();
+    ASSERT_EQ(pending.size(), 4u);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      EXPECT_EQ(pending[i].release_step, 5);
+      EXPECT_EQ(pending[i].job_id, i + 1) << "round " << round;
+      EXPECT_TRUE(pending[i].region.empty());
+    }
+  }
+}
+
+TEST(Pool, RestoreRoundTripsJobIdsAndCounter) {
+  PoolNodeScheduler pool(std::make_shared<asura::core::NullBackend>(), 1, 5);
+  std::vector<PoolNodeScheduler::PendingResult> pending;
+  pending.push_back({7, 3, gasBall(5, 5.0, 1.0, 41)});
+  pending.push_back({7, 6, {}});
+  pool.restoreResults(pending, /*next_job_id=*/9);
+
+  const auto again = pool.snapshotResults();
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].job_id, 3u);
+  EXPECT_EQ(again[1].job_id, 6u);
+  EXPECT_EQ(pool.nextJobId(), 9u);  // the resumed run continues the sequence
+
+  // v1-checkpoint restore: the 0 sentinel must leave the counter alone.
+  PoolNodeScheduler old(std::make_shared<asura::core::NullBackend>(), 1, 5);
+  old.restoreResults({{7, 0, {}}, {7, 0, {}}});
+  EXPECT_EQ(old.nextJobId(), 1u);
+  EXPECT_EQ(old.snapshotResults().size(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Surrogate backends
 // ---------------------------------------------------------------------------
@@ -187,6 +229,95 @@ TEST(Backends, UNetConcurrentPredictionsMatchSerial) {
     for (std::size_t i = 0; i < serial[j].size(); ++i) {
       EXPECT_EQ(serial[j][i].pos.x, concurrent[j][i].pos.x) << "job " << j;
       EXPECT_EQ(serial[j][i].u, concurrent[j][i].u) << "job " << j;
+    }
+  }
+}
+
+TEST(Backends, PredictBatchBitwiseMatchesSequential) {
+  // The tentpole contract: stacking regions along the tensor batch
+  // dimension is a throughput optimization with NO observable effect —
+  // every particle of every region must come back bitwise identical to a
+  // lone predict() call. Empty regions ride along (identity, no batch slot).
+  asura::ml::UNetConfig ucfg;
+  ucfg.base_width = 2;
+  asura::voxel::VoxelParams vp;
+  vp.grid_n = 16;
+  asura::core::UNetSurrogateBackend unet(ucfg, vp);
+
+  std::vector<asura::core::SurrogateRequest> reqs;
+  for (int j = 0; j < 5; ++j) {
+    asura::core::SurrogateRequest rq;
+    rq.region = j == 2 ? std::vector<Particle>{} : gasBall(60 + 15 * j, 20.0, 1.0,
+                                                           static_cast<std::uint64_t>(200 + j));
+    rq.sn_pos = {0.5 * j, 0.0, -0.25 * j};
+    rq.energy = asura::units::E_SN;
+    rq.horizon = 0.1;
+    reqs.push_back(rq);
+  }
+
+  std::vector<std::vector<Particle>> sequential;
+  for (const auto& rq : reqs) {
+    sequential.push_back(unet.predict(rq.region, rq.sn_pos, rq.energy, rq.horizon));
+  }
+  const auto batched = unet.predictBatch(reqs);
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t j = 0; j < batched.size(); ++j) {
+    ASSERT_EQ(batched[j].size(), sequential[j].size()) << "job " << j;
+    for (std::size_t i = 0; i < batched[j].size(); ++i) {
+      EXPECT_EQ(batched[j][i].pos.x, sequential[j][i].pos.x) << "job " << j;
+      EXPECT_EQ(batched[j][i].pos.y, sequential[j][i].pos.y) << "job " << j;
+      EXPECT_EQ(batched[j][i].pos.z, sequential[j][i].pos.z) << "job " << j;
+      EXPECT_EQ(batched[j][i].vel.x, sequential[j][i].vel.x) << "job " << j;
+      EXPECT_EQ(batched[j][i].u, sequential[j][i].u) << "job " << j;
+      EXPECT_EQ(batched[j][i].rho, sequential[j][i].rho) << "job " << j;
+    }
+  }
+}
+
+TEST(Pool, BatchedSchedulerOutputMatchesSequential) {
+  // End-to-end through the scheduler: a coalescing pool (many workers, max
+  // batch 8) must deliver, in the same order, the same bytes as a strictly
+  // sequential pool (one worker, batching disabled) over the same jobs.
+  asura::ml::UNetConfig ucfg;
+  ucfg.base_width = 2;
+  asura::voxel::VoxelParams vp;
+  vp.grid_n = 16;
+  auto backend = std::make_shared<asura::core::UNetSurrogateBackend>(ucfg, vp);
+
+  constexpr int kJobs = 9;
+  std::vector<std::vector<Particle>> regions;
+  for (int j = 0; j < kJobs; ++j) {
+    regions.push_back(gasBall(40 + 10 * j, 20.0, 1.0,
+                              static_cast<std::uint64_t>(300 + j)));
+  }
+
+  const auto runPool = [&](int n_workers, int max_batch) {
+    PoolNodeScheduler pool(backend, n_workers, 4);
+    pool.setMaxBatch(max_batch);
+    for (int j = 0; j < kJobs; ++j) {
+      pool.submit(0, regions[static_cast<std::size_t>(j)], {0, 0, 0},
+                  asura::units::E_SN, 0.1);
+    }
+    auto out = pool.collectDue(4);
+    EXPECT_EQ(pool.jobsCompleted(), static_cast<std::uint64_t>(kJobs));
+    if (max_batch > 1) {
+      EXPECT_GT(pool.jobsCoalesced(), 0u) << "batching never engaged";
+    }
+    return out;
+  };
+
+  const auto sequential = runPool(1, 1);
+  const auto batched = runPool(4, 8);
+
+  ASSERT_EQ(sequential.size(), static_cast<std::size_t>(kJobs));
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (std::size_t j = 0; j < batched.size(); ++j) {
+    ASSERT_EQ(batched[j].size(), sequential[j].size()) << "job " << j;
+    for (std::size_t i = 0; i < batched[j].size(); ++i) {
+      EXPECT_EQ(batched[j][i].pos.x, sequential[j][i].pos.x) << "job " << j;
+      EXPECT_EQ(batched[j][i].vel.y, sequential[j][i].vel.y) << "job " << j;
+      EXPECT_EQ(batched[j][i].u, sequential[j][i].u) << "job " << j;
     }
   }
 }

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "ml/gemm.hpp"
 #include "ml/layers.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/tensor.hpp"
@@ -284,6 +288,232 @@ TEST(UNetTest, LoadRejectsMismatchedConfig) {
   EXPECT_THROW(b.load(path), std::runtime_error);
   EXPECT_THROW(b.load("/tmp/definitely-not-a-file.annx"), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// GEMM engine + batched inference
+// ---------------------------------------------------------------------------
+
+TEST(GemmTest, MatchesNaiveReference) {
+  const int m = 13, n = 37, k = 29;
+  const Tensor a = randomTensor({m, k}, 101);
+  const Tensor b = randomTensor({k, n}, 102);
+  Tensor c0 = randomTensor({m, n}, 103);
+  Tensor c1 = c0;
+  asura::ml::sgemmAcc(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+  asura::ml::sgemmAccNaive(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  for (std::size_t i = 0; i < c0.numel(); ++i) {
+    EXPECT_NEAR(c0[i], c1[i], 1e-4) << "at " << i;
+  }
+}
+
+TEST(GemmTest, ParallelBitwiseMatchesSerial) {
+  // Rows of C are whole units of work: splitting them over threads must not
+  // change a single bit (the determinism contract in ml/gemm.hpp).
+  const int m = 17, n = 53, k = 31;
+  const Tensor a = randomTensor({m, k}, 104);
+  const Tensor b = randomTensor({k, n}, 105);
+  Tensor c0 = randomTensor({m, n}, 106);
+  Tensor c1 = c0;
+  asura::ml::sgemmAcc(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+  asura::ml::sgemmAccParallel(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  for (std::size_t i = 0; i < c0.numel(); ++i) {
+    EXPECT_EQ(c0[i], c1[i]) << "thread split changed bits at " << i;
+  }
+}
+
+TEST(Conv3dTest, GemmMatchesNaiveLoops) {
+  Pcg32 rng(9);
+  Conv3d conv(3, 5, 3, rng);
+  const Tensor x = randomTensor({3, 8, 6, 10}, 110);
+  asura::ml::setConv3dGemm(true);
+  const Tensor y_gemm = conv.forward(x);
+  const Tensor y_naive = conv.forwardNaive(x);
+  ASSERT_TRUE(y_gemm.sameShape(y_naive));
+  for (std::size_t i = 0; i < y_gemm.numel(); ++i) {
+    // Same accumulation order, but the two loop nests may contract to FMA
+    // differently — tolerance, not bitwise, between the implementations.
+    EXPECT_NEAR(y_gemm[i], y_naive[i], 1e-4) << "at " << i;
+  }
+}
+
+TEST(Conv3dTest, GemmToggleSwitchesPath) {
+  Pcg32 rng(9);
+  Conv3d conv(2, 3, 3, rng);
+  const Tensor x = randomTensor({2, 4, 4, 4}, 111);
+  asura::ml::setConv3dGemm(false);
+  const Tensor y_toggled = conv.forward(x);
+  asura::ml::setConv3dGemm(true);
+  const Tensor y_ref = conv.forwardNaive(x);
+  for (std::size_t i = 0; i < y_ref.numel(); ++i) {
+    EXPECT_EQ(y_toggled[i], y_ref[i]);  // toggle off == the naive path, exactly
+  }
+}
+
+TEST(Conv3dTest, BatchedForwardBitwiseMatchesPerSample) {
+  Pcg32 rng(10);
+  Conv3d conv(2, 4, 3, rng);
+  const int N = 3;
+  const Tensor batch = randomTensor({N, 2, 4, 6, 8}, 112);
+  const Tensor yb = conv.forward(batch);
+  ASSERT_EQ(yb.shape(), (std::vector<int>{N, 4, 4, 6, 8}));
+  const std::size_t in_per = batch.numel() / N;
+  const std::size_t out_per = yb.numel() / N;
+  for (int s = 0; s < N; ++s) {
+    Tensor x({2, 4, 6, 8});
+    std::copy(batch.data() + static_cast<std::size_t>(s) * in_per,
+              batch.data() + static_cast<std::size_t>(s + 1) * in_per, x.data());
+    const Tensor y = conv.forward(x);
+    for (std::size_t i = 0; i < out_per; ++i) {
+      EXPECT_EQ(yb[static_cast<std::size_t>(s) * out_per + i], y[i])
+          << "sample " << s << " voxel " << i;
+    }
+  }
+}
+
+TEST(Conv3dTest, BatchedBackwardAccumulatesOverBatch) {
+  const int N = 2;
+  const Tensor batch = randomTensor({N, 2, 4, 4, 4}, 113);
+  const Tensor gy = randomTensor({N, 3, 4, 4, 4}, 114);
+  const std::size_t in_per = batch.numel() / N;
+  const std::size_t gy_per = gy.numel() / N;
+
+  Pcg32 rng_a(11);
+  Conv3d batched(2, 3, 3, rng_a);
+  (void)batched.forward(batch);
+  const Tensor gx_b = batched.backward(gy);
+
+  Pcg32 rng_b(11);
+  Conv3d seq(2, 3, 3, rng_b);
+  Tensor gx_s(batch.shape());
+  for (int s = 0; s < N; ++s) {
+    Tensor x({2, 4, 4, 4}), g({3, 4, 4, 4});
+    std::copy(batch.data() + static_cast<std::size_t>(s) * in_per,
+              batch.data() + static_cast<std::size_t>(s + 1) * in_per, x.data());
+    std::copy(gy.data() + static_cast<std::size_t>(s) * gy_per,
+              gy.data() + static_cast<std::size_t>(s + 1) * gy_per, g.data());
+    (void)seq.forward(x);
+    const Tensor gxi = seq.backward(g);
+    std::copy(gxi.data(), gxi.data() + in_per,
+              gx_s.data() + static_cast<std::size_t>(s) * in_per);
+  }
+
+  for (std::size_t i = 0; i < batched.gw.numel(); ++i) {
+    EXPECT_NEAR(batched.gw[i], seq.gw[i], 1e-4);
+  }
+  for (std::size_t i = 0; i < batched.gb.numel(); ++i) {
+    EXPECT_NEAR(batched.gb[i], seq.gb[i], 1e-4);
+  }
+  for (std::size_t i = 0; i < gx_b.numel(); ++i) {
+    EXPECT_NEAR(gx_b[i], gx_s[i], 1e-4);
+  }
+}
+
+TEST(UNetTest, BatchedForwardBitwiseMatchesPerSample) {
+  UNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.base_width = 2;
+  UNet3D net(cfg, 21);
+  const int N = 3;
+  const Tensor batch = randomTensor({N, 2, 8, 8, 8}, 120);
+
+  asura::ml::InferenceModeScope inference;
+  const Tensor yb = net.forward(batch);
+  ASSERT_EQ(yb.shape(), (std::vector<int>{N, 2, 8, 8, 8}));
+  const std::size_t per = batch.numel() / N;
+  for (int s = 0; s < N; ++s) {
+    Tensor x({2, 8, 8, 8});
+    std::copy(batch.data() + static_cast<std::size_t>(s) * per,
+              batch.data() + static_cast<std::size_t>(s + 1) * per, x.data());
+    const Tensor y = net.forward(x);
+    for (std::size_t i = 0; i < per; ++i) {
+      EXPECT_EQ(yb[static_cast<std::size_t>(s) * per + i], y[i])
+          << "batch size changed bits: sample " << s << " element " << i;
+    }
+  }
+}
+
+TEST(UNetTest, RejectsBadShapesWithDescriptiveError) {
+  UNetConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.base_width = 2;
+  UNet3D net(cfg, 22);
+
+  // Spatial dim not divisible by 4: the error must say so, at the entry
+  // point — not an "odd dims" throw from a pooling layer mid-network.
+  try {
+    (void)net.forward(Tensor({2, 6, 8, 8}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("multiple of 4"), std::string::npos)
+        << "unhelpful message: " << e.what();
+    EXPECT_NE(std::string(e.what()).find("D=6"), std::string::npos)
+        << "message does not name the offending dim: " << e.what();
+  }
+
+  // Wrong channel count.
+  try {
+    (void)net.forward(Tensor({3, 8, 8, 8}));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("channels"), std::string::npos);
+  }
+
+  // Wrong rank.
+  EXPECT_THROW((void)net.forward(Tensor({2, 8, 8})), std::invalid_argument);
+  // Batched input is validated the same way.
+  EXPECT_THROW((void)net.forward(Tensor({2, 2, 8, 8, 6})), std::invalid_argument);
+}
+
+TEST(TensorTest, MseGradientComputedInDouble) {
+  // The per-element gradient scale must be computed in double with ONE final
+  // rounding: float(double(p) - double(t)) * (2/n). The pre-fix float-only
+  // arithmetic rounds twice and drifts by an ulp on many inputs.
+  const int n = 7;
+  Tensor p({1, 1, 1, n}), t({1, 1, 1, n});
+  Pcg32 rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    for (int i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal());
+      t[static_cast<std::size_t>(i)] = static_cast<float>(rng.normal() * 1e-3);
+    }
+    Tensor g;
+    (void)asura::ml::mseLoss(p, t, &g);
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const float want = static_cast<float>(
+          (static_cast<double>(p[idx]) - static_cast<double>(t[idx])) * 2.0 /
+          static_cast<double>(n));
+      ASSERT_EQ(g[idx], want) << "trial " << trial << " element " << i;
+    }
+  }
+}
+
+TEST(InferenceModeTest, SkipsCachesAndBackwardThrows) {
+  Pcg32 rng(31);
+  Conv3d conv(1, 1, 3, rng);
+  Relu relu;
+  const Tensor x = randomTensor({1, 4, 4, 4}, 130);
+  {
+    asura::ml::InferenceModeScope scope;
+    EXPECT_TRUE(asura::ml::inferenceMode());
+    (void)conv.forward(x);
+    (void)relu.forward(x);
+  }
+  EXPECT_FALSE(asura::ml::inferenceMode());
+  // Never trained: the skipped caches make backward a usage error.
+  EXPECT_THROW((void)conv.backward(x), std::logic_error);
+  EXPECT_THROW((void)relu.backward(x), std::logic_error);
+
+  // Inference-mode output is identical to training-mode output.
+  const Tensor y_train = conv.forward(x);
+  asura::ml::InferenceModeScope scope;
+  const Tensor y_infer = conv.forward(x);
+  for (std::size_t i = 0; i < y_train.numel(); ++i) {
+    EXPECT_EQ(y_train[i], y_infer[i]);
+  }
 }
 
 }  // namespace

@@ -173,8 +173,11 @@ TEST(Robustness, IdentityLastResortWhenFallbackDisabled) {
 }
 
 TEST(Robustness, JobTimeoutOverrunsAreRecorded) {
-  // The thread model cannot preempt a running predict, so an overrun is
-  // recorded when the call returns — the counter is the observability knob.
+  // A backend that never polls checkJobDeadline cannot be preempted, so an
+  // overrun is recorded when the call returns — in jobsOverrun, NOT in
+  // jobsTimedOut: the attempt completed and its (valid) result was used.
+  // The pre-fix code booked these slow successes as timeouts, so the
+  // "cancelled attempts" counter could exceed the number of attempts.
   class SlowBackend final : public SurrogateBackend {
    public:
     [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
@@ -193,8 +196,11 @@ TEST(Robustness, JobTimeoutOverrunsAreRecorded) {
   Simulation sim(ic, campaignConfig(), std::make_shared<SlowBackend>());
   sim.pool()->setJobTimeout(1e-4);  // 0.1 ms: the 5 ms sleep always overruns
   for (int s = 0; s < 4; ++s) sim.step();
-  EXPECT_GT(sim.pool()->jobsTimedOut(), 0u);
-  EXPECT_EQ(sim.pool()->jobsFailed(), 0u);  // slow is not wrong
+  EXPECT_GT(sim.pool()->jobsOverrun(), 0u);
+  EXPECT_EQ(sim.pool()->jobsTimedOut(), 0u);  // nothing was cancelled...
+  EXPECT_EQ(sim.pool()->jobsRetried(), 0u);   // ...or re-run
+  EXPECT_EQ(sim.pool()->jobsFallback(), 0u);  // the slow result was used
+  EXPECT_EQ(sim.pool()->jobsFailed(), 0u);    // slow is not wrong
 }
 
 TEST(Robustness, CooperativeTimeoutCancelsPollingBackend) {
@@ -233,10 +239,48 @@ TEST(Robustness, CooperativeTimeoutCancelsPollingBackend) {
   EXPECT_GT(sim.pool()->jobsTimedOut(), 0u) << "cancellation never fired";
   EXPECT_GT(fallbacks, 0) << "cancelled job did not degrade";
   EXPECT_EQ(sim.pool()->jobsFailed(), 0u);  // the oracle rescued it
+  // The fast oracle fallback never overran: primary cancellations must not
+  // bleed into the fallback's own counter (they did before the fix).
+  EXPECT_EQ(sim.pool()->jobsFallbackTimedOut(), 0u);
   EXPECT_GT(replaced, 0);
   // Two cancelled attempts are ~0.1 s; the uncancelled backend alone would
   // burn 4 s. Generous bound to absorb sanitizer slowdowns.
   EXPECT_LT(el.count(), 1.9) << "timeout did not actually preempt the job";
+}
+
+TEST(Robustness, FallbackCancellationsCountSeparately) {
+  // A cancelled FALLBACK attempt must land in jobsFallbackTimedOut, not in
+  // the primary's jobsTimedOut — pre-fix both shared one counter, so a slow
+  // degradation ladder masqueraded as a slow primary.
+  class StuckBackend final : public SurrogateBackend {
+   public:
+    [[nodiscard]] std::vector<Particle> predict(std::vector<Particle> region,
+                                                const Vec3d&, double,
+                                                double) override {
+      for (int i = 0; i < 2000; ++i) {
+        asura::util::checkJobDeadline();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return region;
+    }
+    [[nodiscard]] std::string name() const override { return "stuck"; }
+  };
+
+  asura::core::PoolNodeScheduler pool(
+      std::make_shared<FaultyBackend>(FaultyBackend::Mode::Throw), 1, 2);
+  pool.setFallbackBackend(std::make_shared<StuckBackend>());
+  pool.setRetryBudget(0);
+  pool.setJobTimeout(0.05);
+
+  const auto ic = blastwaveIc(50, 71);
+  pool.submit(0, ic, Vec3d{0, 0, 0}, 1.0, 0.1);
+  const auto out = pool.collectDue(2);
+  ASSERT_EQ(out.size(), 1u);
+
+  EXPECT_EQ(pool.jobsFallbackTimedOut(), 1u);  // the cancelled fallback
+  EXPECT_EQ(pool.jobsTimedOut(), 0u);  // the primary threw, was never cancelled
+  EXPECT_EQ(pool.jobsFailed(), 1u);    // identity last resort
+  EXPECT_EQ(out[0].size(), ic.size());  // identity = input region unchanged
 }
 
 TEST(Robustness, UNetForwardHonorsJobDeadline) {
