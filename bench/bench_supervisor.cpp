@@ -122,4 +122,16 @@ BENCHMARK(BM_SupervisedStepLoop)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Versioned context: downstream tooling keys JSON records on these instead
+// of guessing from field shapes. Bump the schema on field-meaning changes,
+// the fixture when the IC generator or configs move (numbers stop being
+// comparable across fixture versions).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("schema_version", "asura-bench-2");
+  benchmark::AddCustomContext("fixture_version", "supervisor-gasball-1");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

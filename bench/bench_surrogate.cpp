@@ -319,6 +319,10 @@ int main(int argc, char** argv) {
   if (f) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"surrogate\",\n");
+    // Versioned record: schema tracks field names/meaning, fixture pins the
+    // IC + config generation so numbers stay comparable across runs.
+    std::fprintf(f, "  \"schema_version\": \"asura-bench-2\",\n");
+    std::fprintf(f, "  \"fixture_version\": \"surrogate-sedov-1\",\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f,
                  "  \"fixture\": {\"regions\": %d, \"particles_per_region\": %d, "

@@ -1136,6 +1136,8 @@ void Simulation::validateConfig() const {
   if (!(cfg_.sn_box_size > 0.0)) bad("sn_box_size must be positive");
   if (!(cfg_.surrogate_horizon > 0.0)) bad("surrogate_horizon must be positive");
   if (cfg_.return_interval <= 0) bad("return_interval must be positive");
+  if (cfg_.n_pool_nodes <= 0) bad("n_pool_nodes must be positive");
+  if (cfg_.surrogate_max_batch < 1) bad("surrogate_max_batch must be >= 1");
   if (!(cfg_.feedback_radius > 0.0)) bad("feedback_radius must be positive");
   if (cfg_.sph.n_ngb <= 0) bad("sph.n_ngb must be positive");
   if (!(cfg_.sph.cfl > 0.0)) bad("sph.cfl must be positive");

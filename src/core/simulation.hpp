@@ -391,6 +391,28 @@ class Simulation {
   /// mismatch or malformed payload.
   void restoreState(io::ByteReader& r);
 
+  /// Reject configurations step() cannot integrate (non-positive dt/eta/box
+  /// sizes, out-of-range rungs, nonsense pool shaping, a pinned kernel ISA
+  /// the host cannot run) with a descriptive std::invalid_argument. step()
+  /// calls this at entry — before any collective, so all ranks throw
+  /// symmetrically; admission paths (the scenario service's create) call it
+  /// up front so a bad config is rejected at the request, not steps later
+  /// on a worker thread.
+  void validateConfig() const;
+
+  /// Replace the rng stream with a fresh one seeded from `seed` (and record
+  /// the seed in the config). This is the ONLY sanctioned divergence point
+  /// for a clone: a scenario instance restored from another instance's
+  /// snapshot is bitwise identical to its source, and reseeding makes its
+  /// future trajectory differ exclusively through rng-consuming paths
+  /// (star formation draws, Gibbs resampling) — everything deterministic
+  /// stays in lockstep. A clone that skips the reseed continues the
+  /// source's exact trajectory.
+  void reseedRng(std::uint64_t seed) {
+    cfg_.seed = seed;
+    rng_ = util::Pcg32(seed, 0x51D);
+  }
+
  private:
   /// Per-pass parameter sets with the effective PIKG backend resolved: an
   /// explicitly pinned params.isa (non-Auto) wins, otherwise the run-level
@@ -459,11 +481,6 @@ class Simulation {
   /// Id -> index lookup, rebuilt lazily after the particle array changes
   /// (add/reorder) instead of on every surrogate receive.
   const std::unordered_map<std::uint64_t, std::size_t>& idIndex();
-  /// Reject configurations step() cannot integrate (non-positive dt/eta/box
-  /// sizes, out-of-range rungs, a pinned kernel ISA the host cannot run)
-  /// with a descriptive std::invalid_argument at step entry — before any
-  /// collective, so all ranks throw symmetrically.
-  void validateConfig() const;
   /// Post-step run-integrity validator (cfg_.validate_steps): finite local
   /// state plus global count/mass/id conservation. Collective when
   /// distributed (the trip decision is an allreduce, so either every rank

@@ -7,69 +7,38 @@
 
 #include "comm/watchdog.hpp"
 #include "io/checkpoint.hpp"
-#include "io/serialize.hpp"
 
 namespace asura::core {
 
 Supervisor::Supervisor(comm::Cluster& cluster, SupervisorConfig cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
-  if (cfg_.snapshot_interval <= 0) {
-    throw std::invalid_argument("Supervisor: snapshot_interval must be positive");
+  // Same descriptive-reject pattern as Simulation::validateConfig: nonsense
+  // ring/interval/deadline values fail loudly at construction, not as a
+  // wedged or snapshot-less run later.
+  const auto bad = [](const std::string& what) {
+    throw std::invalid_argument("SupervisorConfig: " + what);
+  };
+  if (cfg_.snapshot_interval <= 0) bad("snapshot_interval must be positive");
+  if (cfg_.max_retries < 0) bad("max_retries must be non-negative");
+  if (cfg_.ring_slots < 2) {
+    bad("ring_slots must be >= 2 (rollback needs the previous snapshot to "
+        "survive the next push)");
   }
-  if (cfg_.max_retries < 0) {
-    throw std::invalid_argument("Supervisor: max_retries must be non-negative");
+  if (cfg_.watchdog && !(cfg_.watchdog_deadline_s > 0.0)) {
+    bad("watchdog_deadline_s must be positive");
   }
-}
-
-SimulationConfig Supervisor::escalate(SimulationConfig base, int level) {
-  // Level 0 is the plain config: the transient-fault path must stay bitwise
-  // identical to the uninterrupted run. Each further rung narrows the
-  // machinery a deterministic failure could live in. The rungs only ADD
-  // safety (monotone), so re-applying after a ring restore — which brings
-  // back the snapshot's pre-escalation config — is idempotent.
-  if (level >= 1) base.validate_steps = true;
-  if (level >= 3) base.kernel_isa = pikg::Isa::Scalar;
-  // Level 2 (surrogate -> Sedov oracle) is a construction-time backend
-  // choice, carried by AttemptPlan::force_oracle instead of the config.
-  return base;
-}
-
-void Supervisor::pushSnapshot(RankRing& ring, Simulation& sim) {
-  RingEntry& e = ring.slots[static_cast<std::size_t>(
-      ring.head % ring.slots.size())];
-  // A rank killed mid-push leaves the slot invalid, never half-written: the
-  // supervisor thread only reads rings between attempts (thread join orders
-  // the accesses), and `valid` brackets the mutation.
-  e.valid = false;
-  io::ByteWriter w;
-  sim.serializeState(w);
-  e.bytes = w.take();
-  e.crc = io::crc32(e.bytes.data(), e.bytes.size());
-  e.step = sim.stepCount();
-  e.time = sim.time();
-  e.valid = true;
-  ++ring.head;
-  ring.last_step = e.step;
+  if (cfg_.watchdog && !(cfg_.watchdog_poll_s > 0.0)) {
+    bad("watchdog_poll_s must be positive");
+  }
+  if (!(cfg_.backoff_factor >= 1.0)) bad("backoff_factor must be >= 1");
 }
 
 long Supervisor::commonRingStep() const {
   if (rings_.empty()) return -1;
-  std::vector<long> cands;
-  for (const auto& e : rings_.front().slots) {
-    if (e.valid) cands.push_back(e.step);
-  }
-  std::sort(cands.begin(), cands.end(), std::greater<long>());
-  for (long s : cands) {
+  for (long s : rings_.front().validSteps()) {
     bool everywhere = true;
     for (const auto& ring : rings_) {
-      bool found = false;
-      for (const auto& e : ring.slots) {
-        if (e.valid && e.step == s) {
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
+      if (!ring.find(s)) {
         everywhere = false;
         break;
       }
@@ -89,41 +58,28 @@ void Supervisor::attemptBody(comm::Comm& comm, long target_step,
   auto sim = make(comm, plan);
   if (!sim) throw std::runtime_error("supervisor: factory returned null");
 
-  RankRing& ring = rings_[wi];
+  SnapshotRing& ring = rings_[wi];
   if (resume_step >= 0) {
-    RingEntry* entry = nullptr;
-    for (auto& e : ring.slots) {
-      if (e.valid && e.step == resume_step) entry = &e;
-    }
+    SnapshotEntry* entry = ring.find(resume_step);
     if (!entry) {
       throw std::runtime_error("supervisor: rank " + std::to_string(wr) +
                                " has no ring entry for step " +
                                std::to_string(resume_step));
     }
-    if (io::crc32(entry->bytes.data(), entry->bytes.size()) != entry->crc) {
-      // Poison the entry so the next attempt falls back to an older common
-      // step instead of re-reading the same corrupt bytes forever.
-      entry->valid = false;
-      throw std::runtime_error("supervisor: ring snapshot CRC mismatch on rank " +
-                               std::to_string(wr) + " at step " +
-                               std::to_string(resume_step));
-    }
-    io::ByteReader r(entry->bytes.data(), entry->bytes.size());
-    sim->restoreState(r);
-    if (r.remaining() != 0) {
-      entry->valid = false;
-      throw std::runtime_error("supervisor: trailing ring bytes on rank " +
-                               std::to_string(wr));
-    }
+    // A CRC mismatch or trailing bytes poisons the entry so the next attempt
+    // falls back to an older common step instead of re-reading the same
+    // corrupt bytes forever.
+    SnapshotRing::restoreEntry(*entry, *sim,
+                               "supervisor rank " + std::to_string(wr));
     // restoreState brought back the snapshot's config, which predates this
     // attempt's ladder level — re-apply the escalation knobs (the backend
     // choice is construction-time and unaffected by restore).
     sim->config() = escalate(sim->config(), plan.level);
-  } else if (ring.last_step != sim->stepCount()) {
+  } else if (ring.lastStep() != sim->stepCount()) {
     // Fresh start: seed the ring with the pre-step state so even a failure
     // before the first interval snapshot rolls back instead of restarting
     // from a rebuilt IC.
-    pushSnapshot(ring, *sim);
+    ring.push(*sim);
   }
 
   // Liveness: every step (and sub-step) publishes through the cluster's
@@ -142,8 +98,8 @@ void Supervisor::attemptBody(comm::Comm& comm, long target_step,
     health[wi].reach_giveups += st.reach_giveups;
     health[wi].limiter_wakes += st.limiter_wakes;
     health[wi].migrated += st.migrated;
-    if (s % cfg_.snapshot_interval == 0 && ring.last_step != s) {
-      pushSnapshot(ring, *sim);
+    if (s % cfg_.snapshot_interval == 0 && ring.lastStep() != s) {
+      ring.push(*sim);
     }
   }
 
@@ -159,10 +115,7 @@ std::string Supervisor::writePostmortem(long step) const {
   sections.reserve(rings_.size());
   double time = 0.0;
   for (const auto& ring : rings_) {
-    const RingEntry* entry = nullptr;
-    for (const auto& e : ring.slots) {
-      if (e.valid && e.step == step) entry = &e;
-    }
+    const SnapshotEntry* entry = ring.find(step);
     if (!entry) return {};  // commonRingStep guaranteed this; stay safe
     sections.push_back(entry->bytes);
     time = entry->time;
@@ -176,9 +129,7 @@ RunReport Supervisor::run(long target_step, const SimulationConfig& base,
   const int nranks = cluster_.size();
   rings_.clear();
   rings_.resize(static_cast<std::size_t>(nranks));
-  for (auto& ring : rings_) {
-    ring.slots.resize(static_cast<std::size_t>(std::max(2, cfg_.ring_slots)));
-  }
+  for (auto& ring : rings_) ring.resize(cfg_.ring_slots);
 
   RunReport rep;
   rep.target_step = target_step;
@@ -282,7 +233,7 @@ RunReport Supervisor::run(long target_step, const SimulationConfig& base,
   }
 
   cluster_.setMessageGuard(prev_guard);
-  rep.snapshots = rings_.empty() ? 0 : static_cast<long>(rings_.front().head);
+  rep.snapshots = rings_.empty() ? 0 : static_cast<long>(rings_.front().pushes());
   return rep;
 }
 

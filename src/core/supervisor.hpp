@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "core/recovery.hpp"
 #include "core/simulation.hpp"
 
 namespace asura::core {
@@ -108,15 +109,13 @@ struct RunReport {
 
 class Supervisor {
  public:
-  /// What the factory must build an attempt from. `cfg` already carries the
-  /// level's config knobs; `force_oracle` asks for the construction-time
-  /// choice the config cannot express — build the Simulation with
-  /// SedovOracleBackend as the *primary* surrogate backend.
-  struct AttemptPlan {
-    SimulationConfig cfg;
-    bool force_oracle = false;
-    int level = 0;
-  };
+  /// What the factory must build an attempt from (see core/recovery.hpp —
+  /// the plan and the escalation ladder are shared with the multi-instance
+  /// scenario service). `cfg` already carries the level's config knobs;
+  /// `force_oracle` asks for the construction-time choice the config cannot
+  /// express — build the Simulation with SedovOracleBackend as the *primary*
+  /// surrogate backend.
+  using AttemptPlan = core::AttemptPlan;
 
   /// Builds one rank's Simulation for one attempt. Called inside
   /// Cluster::run on every rank, every attempt — construction must be cheap
@@ -131,11 +130,14 @@ class Supervisor {
 
   Supervisor(comm::Cluster& cluster, SupervisorConfig cfg);
 
-  /// The config for ladder `level` derived from `base`. Applied both when
-  /// planning an attempt and on top of a rolled-back state (whose serialized
-  /// config predates the escalation). Monotone: escalating an already
-  /// escalated config is idempotent.
-  [[nodiscard]] static SimulationConfig escalate(SimulationConfig base, int level);
+  /// The config for ladder `level` derived from `base` (forwards to
+  /// core::escalateConfig). Applied both when planning an attempt and on top
+  /// of a rolled-back state (whose serialized config predates the
+  /// escalation). Monotone: escalating an already escalated config is
+  /// idempotent.
+  [[nodiscard]] static SimulationConfig escalate(SimulationConfig base, int level) {
+    return escalateConfig(std::move(base), level);
+  }
 
   /// Drive every rank's Simulation to `target_step`, self-healing on
   /// failure. Blocks until the run completes or the retry budget is spent;
@@ -145,23 +147,8 @@ class Supervisor {
                 const Factory& make, const Finisher& on_complete = {});
 
  private:
-  struct RingEntry {
-    long step = -1;
-    double time = 0.0;
-    std::uint32_t crc = 0;
-    bool valid = false;
-    std::vector<char> bytes;
-  };
-  struct RankRing {
-    std::vector<RingEntry> slots;
-    std::uint64_t head = 0;  ///< pushes so far (head % slots = next victim)
-    long last_step = -1;     ///< step of the most recent push
-  };
-
   /// Latest step for which EVERY rank holds a valid ring entry (-1: none).
   [[nodiscard]] long commonRingStep() const;
-  /// Push a snapshot of `sim` into `ring` (evicting the oldest slot).
-  static void pushSnapshot(RankRing& ring, Simulation& sim);
   /// The SPMD body of one attempt (runs per rank inside Cluster::run).
   void attemptBody(comm::Comm& comm, long target_step, const AttemptPlan& plan,
                    long resume_step, const Factory& make,
@@ -173,7 +160,7 @@ class Supervisor {
 
   comm::Cluster& cluster_;
   SupervisorConfig cfg_;
-  std::vector<RankRing> rings_;  ///< indexed by world rank
+  std::vector<SnapshotRing> rings_;  ///< indexed by world rank
 };
 
 }  // namespace asura::core

@@ -1,0 +1,297 @@
+#pragma once
+/// \file scenario_service.hpp
+/// \brief Multi-tenant scenario service: host many concurrent Simulation
+/// instances on a fixed worker pool, with batched cooperative stepping,
+/// per-instance self-healing, snapshot streaming and region-of-interest
+/// queries.
+///
+/// The surrogate pipeline exists to make star-by-star runs cheap enough to
+/// launch *many* of them (parameter sweeps, interactive what-if scenarios).
+/// This layer turns the single-run binary into that host: a registry of
+/// independent `Simulation` instances, each owning its particles, rng
+/// stream, pool scheduler and snapshot ring, stepped cooperatively by
+/// `n_workers` threads.
+///
+/// # Lifecycle FSM
+///
+///     Created ──start──▶ Running ──pause / target reached──▶ Paused
+///        │                  │  ▲                               │ ▲
+///        │                  │  └────────────start──────────────┘ │
+///        │               retries                                 │
+///        │               exhausted                            rollback
+///        │                  ▼                                    │
+///        └──archive──▶  [Failed] ───────rollback────────────▶ Paused
+///                           │
+///     (any non-terminal) ──archive──▶ Archived   (terminal)
+///
+/// Transitions are validated by `transitionAllowed`; an illegal request
+/// (e.g. starting an Archived instance) throws std::runtime_error and
+/// changes nothing.
+///
+/// # Scheduling
+///
+/// Live instances sit in a FIFO run queue. A worker leases the instance at
+/// the head, steps it for at most `step_budget` steps (the per-instance
+/// step budget — the fairness quantum), then requeues it at the tail, so N
+/// runnable instances interleave round-robin regardless of their relative
+/// step costs. Control-plane requests (create / clone / pause / rollback /
+/// archive / ROI query) flow through a request queue that workers drain
+/// with priority over stepping, so the control plane stays responsive while
+/// every worker is busy integrating. A `pause` additionally raises the
+/// instance's interrupt flag, which ends a slice at the next step boundary.
+///
+/// # Bitwise isolation contract
+///
+/// Instances share nothing mutable: concurrent hosting of N instances
+/// yields per-instance trajectories **bitwise identical** to running each
+/// instance alone (the per-step physics is thread-count deterministic, and
+/// a shared SurrogateBackend is race-free under ml::InferenceModeScope).
+/// Recovery preserves the contract: a step that throws rolls the instance
+/// back to its newest ring snapshot (the checkpoint codec's byte stream)
+/// and replays — a transient fault recovers bitwise while the other
+/// instances keep stepping undisturbed. Deterministic failures escalate
+/// through the shared ladder (core/recovery.hpp) until the per-instance
+/// retry budget is spent and the instance parks in Failed.
+///
+/// # Snapshots, clones, ROI
+///
+/// Every `snapshot_interval` steps (plus at creation and pause) the leased
+/// worker pushes a serializeState blob into the instance's SnapshotRing and
+/// streams it to subscribers — the blob restores through the ordinary
+/// checkpoint path, so subscribe → restore reproduces the source bitwise.
+/// `clone` builds a new instance from another's newest ring slot; with
+/// `reseed` it diverges only via its own rng stream. `queryRoi` projects
+/// density/temperature/velocity cubes from a read-only lease on the
+/// particle state (voxel::projectRoi) without perturbing the trajectory.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "core/simulation.hpp"
+#include "core/surrogate.hpp"
+#include "voxel/voxel.hpp"
+
+namespace asura::service {
+
+using InstanceId = std::uint64_t;
+
+/// Lifecycle state of one hosted instance.
+enum class InstanceState { Created, Running, Paused, Failed, Archived };
+
+[[nodiscard]] const char* toString(InstanceState s);
+
+/// The FSM edge table (documented in the file header). `Running -> Running`
+/// and the other self-loops are not edges: requesting a transition into the
+/// current state is rejected like any other illegal edge.
+[[nodiscard]] bool transitionAllowed(InstanceState from, InstanceState to);
+
+/// Everything needed to create an instance.
+struct InstanceSpec {
+  std::string name;
+  std::vector<fdps::Particle> particles;
+  core::SimulationConfig cfg;
+  /// Optional shared surrogate backend (nullptr: each instance gets its own
+  /// SedovOracleBackend when cfg.use_surrogate). Sharing one trained net
+  /// across instances is safe: pool workers run forwards under
+  /// ml::InferenceModeScope, which skips all member-state writes.
+  std::shared_ptr<core::SurrogateBackend> backend;
+};
+
+/// Control-plane view of one instance.
+struct InstanceInfo {
+  InstanceId id = 0;
+  std::string name;
+  InstanceState state = InstanceState::Created;
+  long step = 0;          ///< stepCount at the last lease release
+  long target_step = 0;   ///< where start() asked it to run to
+  double time = 0.0;
+  InstanceId cloned_from = 0;  ///< 0: created from an InstanceSpec
+  // --- per-instance recovery state ---
+  int retries = 0;            ///< recovery attempts consumed
+  int escalation_level = 0;   ///< current ladder level (core/recovery.hpp)
+  long rollbacks = 0;         ///< ring restores performed
+  long wasted_steps = 0;      ///< steps redone after rollbacks
+  std::string last_error;     ///< cause of the most recent failure
+  // --- liveness (heartbeats namespaced by instance) ---
+  long heartbeat_step = -1;   ///< last step any worker published for it
+  int heartbeat_phase = -1;   ///< Simulation progress phase at that beat
+  std::uint64_t heartbeats = 0;  ///< total beats since creation
+  // --- snapshot stream ---
+  long snapshots = 0;         ///< ring pushes so far
+  long snapshot_step = -1;    ///< step of the newest ring entry
+};
+
+/// One streamed state snapshot: the exact serializeState byte blob the
+/// checkpoint codec frames, CRC included. `bytes` is shared immutable so a
+/// slow subscriber never blocks (or copies under) the stepping worker.
+struct Snapshot {
+  InstanceId instance = 0;
+  long step = -1;
+  double time = 0.0;
+  std::uint32_t crc = 0;
+  std::shared_ptr<const std::vector<char>> bytes;
+};
+
+/// Snapshot subscribers run on the stepping worker's thread with the
+/// instance leased: they must be fast and must NOT call blocking service
+/// ops on the same instance (deadlock by lease wait).
+using SnapshotSubscriber = std::function<void(const Snapshot&)>;
+
+/// ROI query result: the projected cubes plus the instant they describe.
+struct RoiResult {
+  long step = 0;
+  double time = 0.0;
+  voxel::VoxelGrid grid;
+};
+
+struct ServiceConfig {
+  int n_workers = 4;          ///< fixed worker pool size
+  long step_budget = 4;       ///< max steps per lease (fairness quantum)
+  long snapshot_interval = 8; ///< ring push cadence [steps]
+  int ring_slots = 2;         ///< snapshots retained per instance (>= 2)
+  int max_retries = 3;        ///< per-instance recovery budget
+  /// >0: pin each worker's OpenMP width for the parallel regions inside
+  /// step() (per-thread ICV, so workers never fight over one global knob).
+  /// Results are bitwise thread-count-invariant, so this is throughput
+  /// tuning only — 1 avoids oversubscription when many instances host many
+  /// OpenMP teams on one node. 0: leave the ambient width alone.
+  int omp_threads_per_instance = 0;
+  /// Cap on retained per-step latency samples per instance (ring buffer;
+  /// the bench's p50/p99 source).
+  std::size_t latency_samples = 1 << 14;
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig cfg);
+  ~ScenarioService();  ///< finishes queued control ops, parks workers, joins
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  // --- control plane (each call enqueues a request and waits for it) ----
+
+  /// Register a new instance (state Created). Validates spec.cfg with the
+  /// same step-entry validation a Simulation itself performs.
+  InstanceId create(InstanceSpec spec);
+
+  /// New instance restored from `src`'s newest ring snapshot — bitwise
+  /// identical state, including the rng stream. `reseed` non-zero replaces
+  /// the clone's rng stream (see Simulation::reseedRng): the clone then
+  /// diverges from the source only via rng-consuming paths. The source may
+  /// be in any state that has pushed at least one snapshot (Archived
+  /// included — the final snapshot outlives the live Simulation).
+  InstanceId clone(InstanceId src, std::string name, std::uint64_t reseed = 0);
+
+  /// Created/Paused/Failed-after-rollback -> Running, until `target_step`.
+  /// Reaching the target parks the instance in Paused.
+  void start(InstanceId id, long target_step);
+
+  /// Running -> Paused at the next step boundary (a fresh snapshot is
+  /// pushed, so latestSnapshot reflects the paused state exactly).
+  void pause(InstanceId id);
+
+  /// Restore the newest valid ring snapshot (Paused/Failed -> Paused).
+  /// A Failed instance becomes restartable; its retry budget resets.
+  void rollback(InstanceId id);
+
+  /// Park the instance terminally (any non-terminal state -> Archived),
+  /// releasing the live Simulation. `checkpoint_path` non-empty: the final
+  /// state is first written as an ordinary restorable "ASURACKP" checkpoint
+  /// (inspectable by tools/ckpt_inspect). The final snapshot stays in the
+  /// ring for cloning.
+  void archive(InstanceId id, const std::string& checkpoint_path = {});
+
+  // --- data plane ------------------------------------------------------
+
+  /// Stream every future ring push of `id` to `fn`. Returns a token for
+  /// unsubscribe. The newest existing snapshot (if any) is delivered
+  /// immediately so a late subscriber starts with a restorable state.
+  std::uint64_t subscribe(InstanceId id, SnapshotSubscriber fn);
+  void unsubscribe(std::uint64_t token);
+
+  /// Newest ring snapshot (Snapshot::step == -1: none pushed yet).
+  [[nodiscard]] Snapshot latestSnapshot(InstanceId id);
+
+  /// Project density/temperature/velocity cubes for an ROI from the
+  /// instance's current particle state under a read-only lease. Works in
+  /// every live state (a Running instance is sampled at a step boundary).
+  [[nodiscard]] RoiResult queryRoi(InstanceId id, const voxel::RoiSpec& spec,
+                                   const voxel::VoxelParams& params = {});
+
+  // --- observability ---------------------------------------------------
+
+  [[nodiscard]] InstanceInfo info(InstanceId id);
+  [[nodiscard]] std::vector<InstanceInfo> list();
+
+  /// Per-step wall-clock latencies [ms] retained for `id` (newest-capped
+  /// ring of cfg.latency_samples entries).
+  [[nodiscard]] std::vector<double> stepLatenciesMs(InstanceId id);
+
+  /// Block until no instance is Running short of its target and the
+  /// control queue is empty.
+  void waitIdle();
+
+  /// Test/instrumentation hook: called with the leased Simulation before
+  /// every step of instance `id`. A throwing hook is indistinguishable
+  /// from a step failure — the injection point for fault drills.
+  void setStepHook(InstanceId id,
+                   std::function<void(core::Simulation&, long next_step)> hook);
+
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Instance;
+
+  // Worker pool body.
+  void workerLoop(int worker_index);
+  // One stepping slice of a leased instance (runs without the registry
+  // lock). Returns with the instance's registry bookkeeping updated.
+  void runSlice(Instance& inst);
+  // Recovery path for a slice that threw: rollback + escalate or Fail.
+  void recoverOrFail(Instance& inst, const std::string& cause);
+  // Ring push + subscriber fan-out (instance leased by caller).
+  void pushSnapshotLeased(Instance& inst);
+  // Registry helpers (mu_ held).
+  Instance& instanceRef(InstanceId id);
+  void enqueueRunnable(InstanceId id);
+  // Acquire/release the exclusive instance lease from a control op.
+  std::unique_lock<std::mutex> leaseForControl(Instance& inst);
+
+  // Control-plane request plumbing: ops execute on worker threads in
+  // submission order; the public API waits on the ticket.
+  struct ControlOp {
+    std::function<void()> fn;
+    std::exception_ptr error;
+    bool done = false;
+    std::condition_variable cv;
+    std::mutex m;
+  };
+  void submitAndWait(const std::function<void()>& fn);
+
+  ServiceConfig cfg_;
+
+  std::mutex mu_;  ///< registry + queues + lease flags
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<std::shared_ptr<ControlOp>> control_queue_;
+  std::deque<InstanceId> run_queue_;
+  int active_slices_ = 0;  ///< leases currently held by stepping workers
+
+  std::vector<std::unique_ptr<Instance>> instances_;
+  InstanceId next_id_ = 1;
+  std::uint64_t next_token_ = 1;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace asura::service

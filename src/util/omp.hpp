@@ -36,4 +36,16 @@ inline int ompTeamSize() {
 #endif
 }
 
+/// Set the CALLING thread's default team width for subsequent parallel
+/// regions (the nthreads-var ICV is per data environment, so worker threads
+/// of a multi-instance host can each pin their own width without fighting
+/// over a process-global knob). No-op when OpenMP is compiled out.
+inline void ompSetThreads(int n) {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
 }  // namespace asura::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/units.hpp"
 
@@ -225,6 +226,36 @@ std::vector<Particle> gridToParticles(const VoxelGrid& g,
     p.frozen = 0;
   }
   return out;
+}
+
+VoxelGrid projectRoi(std::span<const Particle> parts, const RoiSpec& spec,
+                     const VoxelParams& params, const sph::Kernel& kernel) {
+  if (spec.grid_n <= 0) {
+    throw std::invalid_argument("RoiSpec: grid_n must be positive");
+  }
+  if (!(spec.box_size > 0.0)) {
+    throw std::invalid_argument("RoiSpec: box_size must be positive");
+  }
+  VoxelParams p = params;
+  p.grid_n = spec.grid_n;
+  const double a = spec.box_size / spec.grid_n;
+  const double half = 0.5 * spec.box_size;
+
+  // Conservative overlap prefilter in deposit order. Any particle whose
+  // (inflated) support cannot touch a cell contributes an exactly-empty
+  // index range in depositParticles, so dropping it is bitwise neutral —
+  // an ROI covering the whole domain reproduces a full deposit exactly.
+  std::vector<Particle> clipped;
+  for (const auto& q : parts) {
+    if (!q.isGas()) continue;
+    const double H = std::max(q.h, 1.5 * a) + a;
+    const Vec3d rel = q.pos - spec.center;
+    if (std::abs(rel.x) <= half + H && std::abs(rel.y) <= half + H &&
+        std::abs(rel.z) <= half + H) {
+      clipped.push_back(q);
+    }
+  }
+  return depositParticles(clipped, spec.center, spec.box_size, p, kernel);
 }
 
 }  // namespace asura::voxel

@@ -83,4 +83,24 @@ std::vector<Particle> gridToParticles(const VoxelGrid& g,
                                       std::span<const Particle> originals,
                                       const VoxelParams& params, util::Pcg32& rng);
 
+/// Region-of-interest projection query: the cube a scenario-service client
+/// asks for (density / temperature / velocity fields sampled on a small
+/// grid) without ever mutating — or even needing mutable access to — the
+/// particle state.
+struct RoiSpec {
+  Vec3d center{};          ///< cube center [pc]
+  double box_size = 60.0;  ///< physical side length [pc]
+  int grid_n = 16;         ///< cells per side of the returned cubes
+};
+
+/// Deposit only the particles whose SPH support can overlap the ROI cube
+/// onto a grid_n^3 grid (same SPH-kernel + Shepard scheme as
+/// depositParticles, so an ROI covering the whole domain is bitwise
+/// identical to a full deposit). Pure and read-only: repeated queries over
+/// a live instance's particles return identical grids and leave the
+/// trajectory untouched. Throws std::invalid_argument on a non-positive
+/// grid_n or box_size.
+VoxelGrid projectRoi(std::span<const Particle> parts, const RoiSpec& spec,
+                     const VoxelParams& params, const sph::Kernel& kernel);
+
 }  // namespace asura::voxel

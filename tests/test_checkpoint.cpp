@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -619,6 +620,53 @@ TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
   sim.serializeState(w2);
   asura::io::ByteReader r2(w2.bytes().data(), w2.bytes().size());
   EXPECT_EQ(r2.getU32(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers (the scenario service hosts many instances on one
+// process: checkpointing must be instance-local state only)
+// ---------------------------------------------------------------------------
+
+TEST(Checkpoint, ConcurrentCheckpointsToDistinctPathsStayBitwise) {
+  const SimulationConfig cfg = quietConfig();
+  const auto ic = [](int i) {
+    return gasBall(160, 8.0, 1.0, 77 + static_cast<std::uint64_t>(i), 2000.0);
+  };
+
+  // References: each trajectory run alone, serially, never checkpointed.
+  std::vector<std::vector<char>> ref(2);
+  for (int i = 0; i < 2; ++i) {
+    Simulation sim(ic(i), cfg);
+    for (int s = 0; s < 6; ++s) sim.step();
+    ref[static_cast<std::size_t>(i)] = stateBytes(sim);
+  }
+
+  // Two simulations stepping AND checkpointing concurrently, one write per
+  // step to maximize overlap between the codec paths. Any hidden shared
+  // mutable state in serializeState/writeCheckpoint shows up as a TSan race
+  // or as a byte divergence below.
+  const std::string paths[2] = {tmpPath("ckpt_concurrent_0.bin"),
+                                tmpPath("ckpt_concurrent_1.bin")};
+  std::thread writers[2];
+  for (int i = 0; i < 2; ++i) {
+    writers[i] = std::thread([&, i] {
+      Simulation sim(ic(i), cfg);
+      for (int s = 0; s < 6; ++s) {
+        sim.step();
+        asura::io::writeCheckpoint(paths[i], sim);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  for (int i = 0; i < 2; ++i) {
+    Simulation restored(std::vector<Particle>{}, cfg);
+    asura::io::restoreCheckpoint(paths[i], restored);
+    EXPECT_EQ(restored.stepCount(), 6);
+    EXPECT_EQ(stateBytes(restored), ref[static_cast<std::size_t>(i)])
+        << "concurrent writer " << i << " diverged";
+    std::remove(paths[i].c_str());
+  }
 }
 
 }  // namespace

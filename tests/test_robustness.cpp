@@ -451,6 +451,14 @@ TEST(Robustness, ConfigValidationRejectsBadValues) {
   expectRejected([](SimulationConfig& c) { c.max_rung = -1; }, "negative rung");
   expectRejected([](SimulationConfig& c) { c.gravity.theta = -0.5; },
                  "negative theta");
+  expectRejected([](SimulationConfig& c) { c.n_pool_nodes = 0; },
+                 "zero pool nodes");
+  expectRejected([](SimulationConfig& c) { c.n_pool_nodes = -4; },
+                 "negative pool nodes");
+  expectRejected([](SimulationConfig& c) { c.surrogate_max_batch = 0; },
+                 "zero surrogate batch");
+  expectRejected([](SimulationConfig& c) { c.surrogate_max_batch = -1; },
+                 "negative surrogate batch");
 
   // A healthy config still steps after all the rejected attempts above.
   Simulation ok(ic, campaignConfig());

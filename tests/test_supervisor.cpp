@@ -348,6 +348,36 @@ TEST(Supervisor, EscalateSetsLadderKnobsMonotonically) {
   EXPECT_EQ(l3b.kernel_isa, asura::pikg::Isa::Scalar);
 }
 
+TEST(Supervisor, SupervisorConfigRejected) {
+  Cluster cluster(1);
+  const auto expectRejected = [&](auto mutate, const char* what) {
+    SupervisorConfig scfg;
+    mutate(scfg);
+    EXPECT_THROW(Supervisor(cluster, scfg), std::invalid_argument) << what;
+  };
+  expectRejected([](SupervisorConfig& c) { c.snapshot_interval = 0; },
+                 "zero snapshot interval");
+  expectRejected([](SupervisorConfig& c) { c.snapshot_interval = -4; },
+                 "negative snapshot interval");
+  expectRejected([](SupervisorConfig& c) { c.ring_slots = 1; },
+                 "single ring slot");
+  expectRejected([](SupervisorConfig& c) { c.max_retries = -1; },
+                 "negative retries");
+  expectRejected([](SupervisorConfig& c) { c.watchdog_deadline_s = 0.0; },
+                 "zero watchdog deadline");
+  expectRejected([](SupervisorConfig& c) { c.watchdog_poll_s = -0.1; },
+                 "negative watchdog poll");
+  expectRejected([](SupervisorConfig& c) { c.backoff_factor = 0.5; },
+                 "shrinking backoff");
+
+  // A watchdog-off config is free to carry garbage watchdog knobs: they
+  // are never consulted.
+  SupervisorConfig off;
+  off.watchdog = false;
+  off.watchdog_deadline_s = 0.0;
+  EXPECT_NO_THROW(Supervisor(cluster, off));
+}
+
 // ---------------------------------------------------------------------------
 // Property: randomized fault schedules always recover bitwise or terminate
 // with an accurate report — never deadlock, never silently diverge.

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <stdexcept>
 
 #include "sph/kernels.hpp"
 #include "util/units.hpp"
@@ -254,6 +256,80 @@ TEST(Gibbs, RoundTripPreservesBulkStatistics) {
     return static_cast<double>(n) / ps.size();
   };
   EXPECT_NEAR(central_fraction(out), central_fraction(gas), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// ROI projection: the scenario service's read-only query path
+// ---------------------------------------------------------------------------
+
+std::vector<Particle> roiCloud(int n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Particle> gas;
+  gas.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    gas.push_back(gasParticle(
+        {rng.normal(0.0, 8.0), rng.normal(0.0, 8.0), rng.normal(0.0, 8.0)}, 1.0,
+        rng.uniform(2.0, 5.0), {rng.normal(0.0, 3.0), 0.0, 0.0}));
+  }
+  return gas;
+}
+
+TEST(Roi, WholeDomainRoiMatchesFullDepositBitwise) {
+  const auto gas = roiCloud(600, 91);
+  VoxelParams vp;
+  vp.grid_n = 16;
+  const Kernel kernel{};
+  const VoxelGrid full =
+      asura::voxel::depositParticles(gas, {0, 0, 0}, 60.0, vp, kernel);
+
+  asura::voxel::RoiSpec spec;
+  spec.center = {0, 0, 0};
+  spec.box_size = 60.0;
+  spec.grid_n = 16;
+  const VoxelGrid roi = asura::voxel::projectRoi(gas, spec, vp, kernel);
+
+  // The conservative prefilter must not change the deposit: covering the
+  // whole domain, the ROI grid is the full deposit, bitwise.
+  ASSERT_EQ(roi.rho.size(), full.rho.size());
+  for (std::size_t i = 0; i < full.rho.size(); ++i) {
+    EXPECT_EQ(roi.rho[i], full.rho[i]) << "rho cell " << i;
+    EXPECT_EQ(roi.temp[i], full.temp[i]) << "temp cell " << i;
+    EXPECT_EQ(roi.vx[i], full.vx[i]) << "vx cell " << i;
+    EXPECT_EQ(roi.vy[i], full.vy[i]) << "vy cell " << i;
+    EXPECT_EQ(roi.vz[i], full.vz[i]) << "vz cell " << i;
+  }
+}
+
+TEST(Roi, RepeatedQueriesArePureAndInputUntouched) {
+  const auto gas = roiCloud(300, 17);
+  const auto before = gas;
+  VoxelParams vp;
+  vp.grid_n = 8;
+  asura::voxel::RoiSpec spec;
+  spec.center = {4.0, -2.0, 1.0};
+  spec.box_size = 20.0;
+  spec.grid_n = 8;
+  const VoxelGrid a = asura::voxel::projectRoi(gas, spec, vp, Kernel{});
+  const VoxelGrid b = asura::voxel::projectRoi(gas, spec, vp, Kernel{});
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.temp, b.temp);
+  for (std::size_t i = 0; i < gas.size(); ++i) {
+    EXPECT_EQ(gas[i].pos.x, before[i].pos.x);
+    EXPECT_EQ(gas[i].mass, before[i].mass);
+  }
+}
+
+TEST(Roi, InvalidSpecRejected) {
+  const auto gas = roiCloud(10, 3);
+  VoxelParams vp;
+  asura::voxel::RoiSpec spec;
+  spec.box_size = -1.0;
+  EXPECT_THROW(asura::voxel::projectRoi(gas, spec, vp, Kernel{}),
+               std::invalid_argument);
+  spec.box_size = 60.0;
+  spec.grid_n = 0;
+  EXPECT_THROW(asura::voxel::projectRoi(gas, spec, vp, Kernel{}),
+               std::invalid_argument);
 }
 
 }  // namespace

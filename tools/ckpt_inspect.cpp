@@ -8,6 +8,10 @@
 //
 //     ckpt_inspect run.ckpt && echo "checkpoint intact"
 //
+// With --json the same inspection is emitted as a single JSON object on
+// stdout (exit-code semantics unchanged), so fleet tooling can triage
+// checkpoints without scraping the human format.
+//
 // The inspector is lenient by construction (io::inspectCheckpoint): a
 // damaged file is described, not rejected, which is the whole point of a
 // triage tool.
@@ -22,34 +26,22 @@ namespace {
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: ckpt_inspect <checkpoint-file>\n"
+               "usage: ckpt_inspect [--json] <checkpoint-file>\n"
                "\n"
                "Dump header, per-rank sections, and CRC verification for an\n"
-               "ASURACKP checkpoint. Exits 0 if the file verifies, 1 if any\n"
-               "CRC fails or the file is truncated, 2 on usage errors.\n");
+               "ASURACKP checkpoint. --json emits the inspection as one JSON\n"
+               "object instead of the human-readable report. Exits 0 if the\n"
+               "file verifies, 1 if any CRC fails or the file is truncated,\n"
+               "2 on usage errors.\n");
 }
 
-}  // namespace
+bool verdict(const asura::io::CheckpointInspection& insp) {
+  bool ok = !insp.truncated && (!insp.header_crc_present || insp.header_crc_ok);
+  for (const auto& sec : insp.sections) ok = ok && sec.ok;
+  return ok && insp.sections.size() == static_cast<std::size_t>(insp.info.nranks);
+}
 
-int main(int argc, char** argv) {
-  if (argc == 2 && (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
-    usage(stdout);
-    return 0;
-  }
-  if (argc != 2) {
-    usage(stderr);
-    return 2;
-  }
-  const std::string path = argv[1];
-
-  asura::io::CheckpointInspection insp;
-  try {
-    insp = asura::io::inspectCheckpoint(path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "ckpt_inspect: %s\n", e.what());
-    return 2;
-  }
-
+void printHuman(const std::string& path, const asura::io::CheckpointInspection& insp) {
   std::printf("%s\n", path.c_str());
   std::printf("  format version : %u\n", insp.info.version);
   std::printf("  ranks          : %d\n", insp.info.nranks);
@@ -62,23 +54,91 @@ int main(int argc, char** argv) {
   } else {
     std::printf("  header CRC     : none (v1 file)\n");
   }
-
-  bool all_ok = !insp.truncated && (!insp.header_crc_present || insp.header_crc_ok);
   for (std::size_t i = 0; i < insp.sections.size(); ++i) {
     const auto& sec = insp.sections[i];
     std::printf("  rank %-3zu       : %llu bytes, CRC stored %08x computed %08x  [%s]\n",
                 i, static_cast<unsigned long long>(sec.bytes), sec.crc_stored,
                 sec.crc_computed, sec.ok ? "ok" : "MISMATCH");
-    all_ok = all_ok && sec.ok;
   }
   if (insp.sections.size() < static_cast<std::size_t>(insp.info.nranks)) {
     std::printf("  sections       : %zu of %d present\n", insp.sections.size(),
                 insp.info.nranks);
-    all_ok = false;
   }
   std::printf("  total payload  : %llu bytes\n",
               static_cast<unsigned long long>(insp.info.payload_bytes));
   if (insp.truncated) std::printf("  TRUNCATED: file ends before the framing says it should\n");
-  std::printf("  verdict        : %s\n", all_ok ? "OK" : "DAMAGED");
-  return all_ok ? 0 : 1;
+  std::printf("  verdict        : %s\n", verdict(insp) ? "OK" : "DAMAGED");
+}
+
+void printJson(const std::string& path, const asura::io::CheckpointInspection& insp) {
+  std::printf("{\n");
+  std::printf("  \"path\": \"%s\",\n", path.c_str());
+  std::printf("  \"version\": %u,\n", insp.info.version);
+  std::printf("  \"nranks\": %d,\n", insp.info.nranks);
+  std::printf("  \"step\": %ld,\n", insp.info.step);
+  std::printf("  \"time\": %.17g,\n", insp.info.time);
+  std::printf("  \"payload_bytes\": %llu,\n",
+              static_cast<unsigned long long>(insp.info.payload_bytes));
+  std::printf("  \"header_crc\": {\"present\": %s, \"ok\": %s, "
+              "\"stored\": %u, \"computed\": %u},\n",
+              insp.header_crc_present ? "true" : "false",
+              insp.header_crc_ok ? "true" : "false", insp.header_crc_stored,
+              insp.header_crc_computed);
+  std::printf("  \"sections\": [\n");
+  for (std::size_t i = 0; i < insp.sections.size(); ++i) {
+    const auto& sec = insp.sections[i];
+    std::printf("    {\"rank\": %zu, \"bytes\": %llu, \"crc_stored\": %u, "
+                "\"crc_computed\": %u, \"ok\": %s}%s\n",
+                i, static_cast<unsigned long long>(sec.bytes), sec.crc_stored,
+                sec.crc_computed, sec.ok ? "true" : "false",
+                i + 1 < insp.sections.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"truncated\": %s,\n", insp.truncated ? "true" : "false");
+  std::printf("  \"ok\": %s\n", verdict(insp) ? "true" : "false");
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string path;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ckpt_inspect: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  asura::io::CheckpointInspection insp;
+  try {
+    insp = asura::io::inspectCheckpoint(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ckpt_inspect: %s\n", e.what());
+    return 2;
+  }
+
+  if (json) {
+    printJson(path, insp);
+  } else {
+    printHuman(path, insp);
+  }
+  return verdict(insp) ? 0 : 1;
 }

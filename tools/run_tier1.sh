@@ -17,4 +17,9 @@ if "${build_dir}/ckpt_inspect" "${build_dir}/no-such-checkpoint.ckpt" > /dev/nul
   exit 1
 fi
 
+# scenario_server smoke: a tiny hosted fleet must come out bitwise clean
+# (the tool self-verifies against unhosted reruns and exits nonzero on any
+# divergence).
+"${build_dir}/scenario_server" --smoke > /dev/null
+
 cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)"
