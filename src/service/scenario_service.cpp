@@ -107,9 +107,20 @@ struct ScenarioService::Instance {
   bool pending_fail = false;
   std::atomic<bool> interrupt{false};
 
-  // Published at lease release so info() never reads a mid-step Simulation.
+  // Published under mu_ at lease release so info() never reads a mid-step
+  // Simulation — nor the recovery/ring bookkeeping the stepping worker
+  // mutates under the lease only. info() must touch nothing but these
+  // pub_ copies, the immutable fields, the state/flags guarded by mu_,
+  // and the heartbeat atomics.
   long pub_step = 0;
   double pub_time = 0.0;
+  int pub_retries = 0;
+  int pub_escalation_level = 0;
+  long pub_rollbacks = 0;
+  long pub_wasted_steps = 0;
+  std::string pub_last_error;
+  long pub_snapshots = 0;
+  long pub_snapshot_step = -1;
 
   std::vector<std::pair<std::uint64_t, SnapshotSubscriber>> subscribers;
   std::function<void(core::Simulation&, long)> hook;
@@ -132,6 +143,13 @@ struct ScenarioService::Instance {
       pub_step = sim->stepCount();
       pub_time = sim->time();
     }
+    pub_retries = retries;
+    pub_escalation_level = escalation_level;
+    pub_rollbacks = rollbacks;
+    pub_wasted_steps = wasted_steps;
+    pub_last_error = last_error;
+    pub_snapshots = static_cast<long>(ring.pushes());
+    pub_snapshot_step = ring.lastStep();
   }
 };
 
@@ -322,10 +340,24 @@ void ScenarioService::runSlice(Instance& inst) {
     } catch (const std::exception& e) {
       recoverOrFail(inst, e.what());
       return;  // slice ends either way; a recovered instance requeues
+    } catch (...) {
+      recoverOrFail(inst, "step threw a non-standard exception");
+      return;
     }
     ++done;
+    // The snapshot push can throw too (serializeState allocation): route it
+    // through the same recovery ladder — an escaping exception here would
+    // std::terminate the worker and take the whole multi-tenant host down.
     if (inst.sim->stepCount() % cfg_.snapshot_interval == 0) {
-      pushSnapshotLeased(inst);
+      try {
+        pushSnapshotLeased(inst);
+      } catch (const std::exception& e) {
+        recoverOrFail(inst, std::string("snapshot push failed: ") + e.what());
+        return;
+      } catch (...) {
+        recoverOrFail(inst, "snapshot push failed: non-standard exception");
+        return;
+      }
     }
   }
   // A slice that parks the instance (interrupt raised by pause/archive, or
@@ -333,7 +365,13 @@ void ScenarioService::runSlice(Instance& inst) {
   // see exactly the state the control plane observes.
   if (inst.sim && (interrupted || inst.sim->stepCount() >= inst.target_step) &&
       inst.ring.lastStep() != inst.sim->stepCount()) {
-    pushSnapshotLeased(inst);
+    try {
+      pushSnapshotLeased(inst);
+    } catch (const std::exception& e) {
+      recoverOrFail(inst, std::string("snapshot push failed: ") + e.what());
+    } catch (...) {
+      recoverOrFail(inst, "snapshot push failed: non-standard exception");
+    }
   }
 }
 
@@ -388,7 +426,13 @@ void ScenarioService::pushSnapshotLeased(Instance& inst) {
   snap.bytes = std::make_shared<const std::vector<char>>(e->bytes);
   for (const auto& [token, fn] : inst.subscribers) {
     (void)token;
-    fn(snap);
+    // Subscribers are observers: a throwing callback must neither perturb
+    // the instance's trajectory nor kill the hosting worker, and one bad
+    // subscriber must not starve the others of the blob.
+    try {
+      fn(snap);
+    } catch (...) {
+    }
   }
 }
 
@@ -498,6 +542,12 @@ void ScenarioService::start(InstanceId id, long target_step) {
     }
     inst.state = InstanceState::Running;
     inst.target_step = target_step;
+    // Belt and braces against stale park requests (e.g. two pause() calls
+    // racing on the same unleased instance): a leftover interrupt or
+    // pending_pause would re-park this fresh run at its current step with
+    // zero progress made toward the target.
+    inst.pending_pause = false;
+    inst.interrupt.store(false, std::memory_order_relaxed);
     enqueueRunnable(id);
   });
   cv_.notify_all();
@@ -519,14 +569,28 @@ void ScenarioService::pause(InstanceId id) {
                        run_queue_.end());
       inst.queued = false;
       inst.leased = true;
+      // The park bookkeeping must run on every exit path: a snapshot push
+      // that throws (subscriber allocation, serializeState bad_alloc) would
+      // otherwise leak the lease and deadlock every future op on this
+      // instance. The sim state itself is untouched either way, so the
+      // instance still parks in Paused; the error propagates to the caller
+      // as "paused, but the promised snapshot was not pushed".
+      auto release = onScopeExit([&] {
+        if (!lk.owns_lock()) lk.lock();
+        inst.publish();
+        inst.state = InstanceState::Paused;
+        // A concurrent pause() racing this direct path may have raised the
+        // mid-slice flags after we took the lease; clear them so the next
+        // start() does not immediately re-park at the current step.
+        inst.pending_pause = false;
+        inst.interrupt.store(false, std::memory_order_relaxed);
+        inst.leased = false;
+        cv_.notify_all();
+      });
       lk.unlock();
       if (inst.sim && inst.ring.lastStep() != inst.sim->stepCount()) {
         pushSnapshotLeased(inst);
       }
-      lk.lock();
-      inst.publish();
-      inst.state = InstanceState::Paused;
-      inst.leased = false;
       return;
     }
     // Mid-slice: the stepping worker honors the interrupt at the next step
@@ -782,16 +846,16 @@ InstanceInfo ScenarioService::info(InstanceId id) {
     out.target_step = inst.target_step;
     out.time = inst.pub_time;
     out.cloned_from = inst.cloned_from;
-    out.retries = inst.retries;
-    out.escalation_level = inst.escalation_level;
-    out.rollbacks = inst.rollbacks;
-    out.wasted_steps = inst.wasted_steps;
-    out.last_error = inst.last_error;
+    out.retries = inst.pub_retries;
+    out.escalation_level = inst.pub_escalation_level;
+    out.rollbacks = inst.pub_rollbacks;
+    out.wasted_steps = inst.pub_wasted_steps;
+    out.last_error = inst.pub_last_error;
     out.heartbeat_step = inst.hb.step.load(std::memory_order_relaxed);
     out.heartbeat_phase = inst.hb.phase.load(std::memory_order_relaxed);
     out.heartbeats = inst.hb.beats.load(std::memory_order_relaxed);
-    out.snapshots = static_cast<long>(inst.ring.pushes());
-    out.snapshot_step = inst.ring.lastStep();
+    out.snapshots = inst.pub_snapshots;
+    out.snapshot_step = inst.pub_snapshot_step;
   });
   return out;
 }

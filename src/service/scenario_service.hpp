@@ -115,7 +115,9 @@ struct InstanceInfo {
   long target_step = 0;   ///< where start() asked it to run to
   double time = 0.0;
   InstanceId cloned_from = 0;  ///< 0: created from an InstanceSpec
-  // --- per-instance recovery state ---
+  // --- per-instance recovery state (like step/time, sampled at the most
+  // --- recent lease release: info() on a Running instance is race-free
+  // --- but one slice behind the physics; the heartbeat atomics are live) ---
   int retries = 0;            ///< recovery attempts consumed
   int escalation_level = 0;   ///< current ladder level (core/recovery.hpp)
   long rollbacks = 0;         ///< ring restores performed
@@ -143,7 +145,9 @@ struct Snapshot {
 
 /// Snapshot subscribers run on the stepping worker's thread with the
 /// instance leased: they must be fast and must NOT call blocking service
-/// ops on the same instance (deadlock by lease wait).
+/// ops on the same instance (deadlock by lease wait). A throwing
+/// subscriber is swallowed — it neither perturbs the instance's
+/// trajectory nor prevents delivery to the remaining subscribers.
 using SnapshotSubscriber = std::function<void(const Snapshot&)>;
 
 /// ROI query result: the projected cubes plus the instant they describe.
@@ -197,7 +201,9 @@ class ScenarioService {
   void start(InstanceId id, long target_step);
 
   /// Running -> Paused at the next step boundary (a fresh snapshot is
-  /// pushed, so latestSnapshot reflects the paused state exactly).
+  /// pushed, so latestSnapshot reflects the paused state exactly). If that
+  /// snapshot push itself fails the instance still parks in Paused (its
+  /// simulation state is untouched) and the error propagates to the caller.
   void pause(InstanceId id);
 
   /// Restore the newest valid ring snapshot (Paused/Failed -> Paused).

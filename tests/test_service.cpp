@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -448,6 +449,187 @@ TEST(ServiceClones, ReseededCloneDivergesOnlyViaRngStream) {
     EXPECT_EQ(p.vel.z, q.vel.z);
     EXPECT_EQ(p.u, q.u);
   }
+}
+
+TEST(ServiceSnapshots, ThrowingSubscriberNeitherKillsHostNorPerturbsTrajectory) {
+  const SimulationConfig cfg = quietConfig();
+  ServiceConfig scfg;
+  scfg.n_workers = 2;
+  scfg.snapshot_interval = 3;
+  ScenarioService svc(scfg);
+
+  const InstanceId id = svc.create({"bad-sub", instanceIc(3), cfg, nullptr});
+  // A misbehaving subscriber throws on every delivery. Pre-fix the interval
+  // push ran outside runSlice's try block, so this std::terminate'd the
+  // worker and took the whole host down; now the throw is swallowed
+  // per-subscriber: no recovery is triggered, and the well-behaved
+  // subscriber behind it still receives every blob.
+  std::atomic<int> throws{0};
+  svc.subscribe(id, [&throws](const Snapshot& s) {
+    if (s.step > 0) {
+      ++throws;
+      throw std::runtime_error("misbehaving subscriber");
+    }
+  });
+  std::mutex mu;
+  std::vector<long> steps_seen;
+  svc.subscribe(id, [&](const Snapshot& s) {
+    std::lock_guard<std::mutex> lk(mu);
+    steps_seen.push_back(s.step);
+  });
+
+  svc.start(id, 9);
+  svc.waitIdle();
+
+  const InstanceInfo info = svc.info(id);
+  EXPECT_EQ(info.state, InstanceState::Paused) << info.last_error;
+  EXPECT_EQ(info.step, 9);
+  EXPECT_EQ(info.retries, 0);  // a subscriber throw is not a step failure
+  EXPECT_GT(throws.load(), 0);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_FALSE(steps_seen.empty());
+    EXPECT_EQ(steps_seen.back(), 9);  // delivery continued past the thrower
+  }
+  const Snapshot snap = svc.latestSnapshot(id);
+  ASSERT_TRUE(snap.bytes);
+  EXPECT_EQ(*snap.bytes, soloBytes(instanceIc(3), cfg, 9));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regressions: live observability, racing control ops
+// ---------------------------------------------------------------------------
+
+TEST(ServiceObservability, LiveInfoWhileSteppingIsRaceFree) {
+  const long kSteps = 40;
+  ServiceConfig scfg;
+  scfg.n_workers = 2;
+  scfg.step_budget = 2;
+  scfg.snapshot_interval = 1;  // ring bookkeeping mutates every step
+  scfg.max_retries = 1000;
+  scfg.omp_threads_per_instance = 1;
+  ScenarioService svc(scfg);
+
+  const InstanceId a =
+      svc.create({"live-a", instanceIc(0), quietConfig(), nullptr});
+  const InstanceId b =
+      svc.create({"live-b", instanceIc(1), quietConfig(), nullptr});
+  // Periodic transient faults keep the recovery bookkeeping (retries,
+  // rollbacks, wasted_steps, last_error) churning under the lease while the
+  // main thread polls. The counter is call-based, not step-based, so the
+  // post-rollback replay does not deterministically re-fault.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  svc.setStepHook(b, [calls](Simulation&, long) {
+    if (calls->fetch_add(1) % 9 == 8) {
+      throw std::runtime_error("periodic transient fault");
+    }
+  });
+  svc.start(a, kSteps);
+  svc.start(b, kSteps);
+
+  // Live monitoring on Running instances — the use case the heartbeat
+  // atomics exist for. Pre-fix, info() read lease-mutated counters and a
+  // mutating std::string under mu_ only (a torn read / TSan race).
+  long last_a = 0;
+  for (;;) {
+    bool all_parked = true;
+    for (const InstanceInfo& info : svc.list()) {
+      EXPECT_GE(info.step, 0);
+      EXPECT_GE(info.snapshots, 1);  // creation push at minimum
+      all_parked = all_parked && info.state != InstanceState::Running;
+    }
+    const InstanceInfo ia = svc.info(a);
+    EXPECT_GE(ia.step, last_a);  // published step never regresses
+    last_a = ia.step;
+    if (all_parked) break;
+    std::this_thread::yield();
+  }
+  svc.waitIdle();
+
+  EXPECT_EQ(svc.info(a).step, kSteps);
+  const InstanceInfo ib = svc.info(b);
+  EXPECT_EQ(ib.state, InstanceState::Paused) << ib.last_error;
+  EXPECT_EQ(ib.step, kSteps);
+  EXPECT_GT(ib.retries, 0);  // the fault hook really fired and recovered
+}
+
+TEST(ServiceFsm, ConcurrentPausesLeaveNoStaleParkRequest) {
+  ServiceConfig scfg;
+  scfg.n_workers = 2;
+  scfg.step_budget = 2;
+  scfg.snapshot_interval = 1000;  // the park snapshot is pause()'s to push
+  ScenarioService svc(scfg);
+
+  const InstanceId decoy =
+      svc.create({"decoy", instanceIc(6), quietConfig(), nullptr});
+  const InstanceId id =
+      svc.create({"target", instanceIc(7), quietConfig(), nullptr});
+
+  auto decoy_gate = std::make_shared<std::atomic<bool>>(false);
+  auto target_gate = std::make_shared<std::atomic<bool>>(false);
+  auto target_in_hook = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<bool> in_pause_push{false};
+  std::atomic<bool> release_push{false};
+
+  // Worker 1 parks inside the decoy's hook until released.
+  svc.setStepHook(decoy, [decoy_gate](Simulation&, long) {
+    while (!decoy_gate->load()) std::this_thread::yield();
+  });
+  // The target's first slice stalls in its step-0 hook so pause #1 is
+  // queued before the slice releases the lease.
+  svc.setStepHook(id, [target_gate, target_in_hook](Simulation&,
+                                                    long next_step) {
+    if (next_step == 0) {
+      target_in_hook->store(true);
+      while (!target_gate->load()) std::this_thread::yield();
+    }
+  });
+  // Blocking subscriber: widens pause #1's direct-path snapshot push into a
+  // deterministic window during which the instance is pseudo-leased.
+  svc.subscribe(id, [&](const Snapshot& s) {
+    if (s.step > 0 && !release_push.load()) {
+      in_pause_push.store(true);
+      while (!release_push.load()) std::this_thread::yield();
+    }
+  });
+
+  svc.start(decoy, 1);
+  svc.start(id, 100);
+  // Wait until a worker actually leases the target and enters its slice: a
+  // pause picked up before the first lease would take the direct path at
+  // step 0 with nothing to snapshot, and the window would never open.
+  while (!target_in_hook->load()) std::this_thread::yield();
+
+  std::thread p1([&] { svc.pause(id); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Slice runs steps 0..1 and releases with an unsnapshotted step; the
+  // worker then picks the queued pause over re-leasing, takes the direct
+  // path, and blocks in the subscriber with the pseudo-lease held.
+  target_gate->store(true);
+  while (!in_pause_push.load()) std::this_thread::yield();
+
+  // Pause #2 arrives during the window: it observes the pseudo-lease and
+  // raises the mid-slice park flags (pending_pause + interrupt) that
+  // pause #1's direct transition must clean up behind it.
+  std::thread p2([&] { svc.pause(id); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  decoy_gate->store(true);  // frees worker 1 to execute pause #2
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release_push.store(true);  // pause #1 completes the park
+  p1.join();
+  p2.join();
+
+  EXPECT_EQ(svc.info(id).state, InstanceState::Paused);
+
+  // Pre-fix, pause #2's stale flags survived the direct park and the next
+  // start() immediately re-parked the instance at its current step with
+  // zero progress made toward the target.
+  svc.setStepHook(id, nullptr);
+  svc.start(id, 120);
+  svc.waitIdle();
+  const InstanceInfo info = svc.info(id);
+  EXPECT_EQ(info.state, InstanceState::Paused) << info.last_error;
+  EXPECT_EQ(info.step, 120);
 }
 
 // ---------------------------------------------------------------------------
