@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build-tsan/generated/pikg_kernels_avx2.cpp" "CMakeFiles/asura.dir/generated/pikg_kernels_avx2.cpp.o" "gcc" "CMakeFiles/asura.dir/generated/pikg_kernels_avx2.cpp.o.d"
+  "/root/repo/build-tsan/generated/pikg_kernels_avx512.cpp" "CMakeFiles/asura.dir/generated/pikg_kernels_avx512.cpp.o" "gcc" "CMakeFiles/asura.dir/generated/pikg_kernels_avx512.cpp.o.d"
+  "/root/repo/build-tsan/generated/pikg_kernels_scalar.cpp" "CMakeFiles/asura.dir/generated/pikg_kernels_scalar.cpp.o" "gcc" "CMakeFiles/asura.dir/generated/pikg_kernels_scalar.cpp.o.d"
+  "/root/repo/src/comm/comm.cpp" "CMakeFiles/asura.dir/src/comm/comm.cpp.o" "gcc" "CMakeFiles/asura.dir/src/comm/comm.cpp.o.d"
+  "/root/repo/src/comm/watchdog.cpp" "CMakeFiles/asura.dir/src/comm/watchdog.cpp.o" "gcc" "CMakeFiles/asura.dir/src/comm/watchdog.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "CMakeFiles/asura.dir/src/core/distributed.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/distributed.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "CMakeFiles/asura.dir/src/core/pool.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/pool.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "CMakeFiles/asura.dir/src/core/recovery.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/recovery.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "CMakeFiles/asura.dir/src/core/simulation.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/simulation.cpp.o.d"
+  "/root/repo/src/core/supervisor.cpp" "CMakeFiles/asura.dir/src/core/supervisor.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/supervisor.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "CMakeFiles/asura.dir/src/core/surrogate.cpp.o" "gcc" "CMakeFiles/asura.dir/src/core/surrogate.cpp.o.d"
+  "/root/repo/src/fdps/context.cpp" "CMakeFiles/asura.dir/src/fdps/context.cpp.o" "gcc" "CMakeFiles/asura.dir/src/fdps/context.cpp.o.d"
+  "/root/repo/src/fdps/domain.cpp" "CMakeFiles/asura.dir/src/fdps/domain.cpp.o" "gcc" "CMakeFiles/asura.dir/src/fdps/domain.cpp.o.d"
+  "/root/repo/src/fdps/let.cpp" "CMakeFiles/asura.dir/src/fdps/let.cpp.o" "gcc" "CMakeFiles/asura.dir/src/fdps/let.cpp.o.d"
+  "/root/repo/src/fdps/tree.cpp" "CMakeFiles/asura.dir/src/fdps/tree.cpp.o" "gcc" "CMakeFiles/asura.dir/src/fdps/tree.cpp.o.d"
+  "/root/repo/src/galaxy/galaxy.cpp" "CMakeFiles/asura.dir/src/galaxy/galaxy.cpp.o" "gcc" "CMakeFiles/asura.dir/src/galaxy/galaxy.cpp.o.d"
+  "/root/repo/src/gravity/gravity.cpp" "CMakeFiles/asura.dir/src/gravity/gravity.cpp.o" "gcc" "CMakeFiles/asura.dir/src/gravity/gravity.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "CMakeFiles/asura.dir/src/io/checkpoint.cpp.o" "gcc" "CMakeFiles/asura.dir/src/io/checkpoint.cpp.o.d"
+  "/root/repo/src/kernels/registry.cpp" "CMakeFiles/asura.dir/src/kernels/registry.cpp.o" "gcc" "CMakeFiles/asura.dir/src/kernels/registry.cpp.o.d"
+  "/root/repo/src/ml/gemm.cpp" "CMakeFiles/asura.dir/src/ml/gemm.cpp.o" "gcc" "CMakeFiles/asura.dir/src/ml/gemm.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "CMakeFiles/asura.dir/src/ml/layers.cpp.o" "gcc" "CMakeFiles/asura.dir/src/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/unet.cpp" "CMakeFiles/asura.dir/src/ml/unet.cpp.o" "gcc" "CMakeFiles/asura.dir/src/ml/unet.cpp.o.d"
+  "/root/repo/src/perf/scaling.cpp" "CMakeFiles/asura.dir/src/perf/scaling.cpp.o" "gcc" "CMakeFiles/asura.dir/src/perf/scaling.cpp.o.d"
+  "/root/repo/src/pikg/dsl.cpp" "CMakeFiles/asura.dir/src/pikg/dsl.cpp.o" "gcc" "CMakeFiles/asura.dir/src/pikg/dsl.cpp.o.d"
+  "/root/repo/src/pikg/ppa.cpp" "CMakeFiles/asura.dir/src/pikg/ppa.cpp.o" "gcc" "CMakeFiles/asura.dir/src/pikg/ppa.cpp.o.d"
+  "/root/repo/src/service/scenario_service.cpp" "CMakeFiles/asura.dir/src/service/scenario_service.cpp.o" "gcc" "CMakeFiles/asura.dir/src/service/scenario_service.cpp.o.d"
+  "/root/repo/src/sn/fft.cpp" "CMakeFiles/asura.dir/src/sn/fft.cpp.o" "gcc" "CMakeFiles/asura.dir/src/sn/fft.cpp.o.d"
+  "/root/repo/src/sn/sedov.cpp" "CMakeFiles/asura.dir/src/sn/sedov.cpp.o" "gcc" "CMakeFiles/asura.dir/src/sn/sedov.cpp.o.d"
+  "/root/repo/src/sn/turbulence.cpp" "CMakeFiles/asura.dir/src/sn/turbulence.cpp.o" "gcc" "CMakeFiles/asura.dir/src/sn/turbulence.cpp.o.d"
+  "/root/repo/src/sph/sph.cpp" "CMakeFiles/asura.dir/src/sph/sph.cpp.o" "gcc" "CMakeFiles/asura.dir/src/sph/sph.cpp.o.d"
+  "/root/repo/src/stellar/stellar.cpp" "CMakeFiles/asura.dir/src/stellar/stellar.cpp.o" "gcc" "CMakeFiles/asura.dir/src/stellar/stellar.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/asura.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/asura.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "CMakeFiles/asura.dir/src/util/timer.cpp.o" "gcc" "CMakeFiles/asura.dir/src/util/timer.cpp.o.d"
+  "/root/repo/src/voxel/voxel.cpp" "CMakeFiles/asura.dir/src/voxel/voxel.cpp.o" "gcc" "CMakeFiles/asura.dir/src/voxel/voxel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

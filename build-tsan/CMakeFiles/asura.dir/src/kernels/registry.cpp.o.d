@@ -1,0 +1,4 @@
+CMakeFiles/asura.dir/src/kernels/registry.cpp.o: \
+ /root/repo/src/kernels/registry.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/kernels/registry.hpp /root/repo/src/pikg/isa.hpp \
+ /root/repo/build-tsan/generated/pikg_kernels.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_step.dir/bench/bench_distributed_step.cpp.o"
+  "CMakeFiles/bench_distributed_step.dir/bench/bench_distributed_step.cpp.o.d"
+  "bench_distributed_step"
+  "bench_distributed_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

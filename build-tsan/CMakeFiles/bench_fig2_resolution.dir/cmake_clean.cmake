@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_resolution.dir/bench/bench_fig2_resolution.cpp.o"
+  "CMakeFiles/bench_fig2_resolution.dir/bench/bench_fig2_resolution.cpp.o.d"
+  "bench_fig2_resolution"
+  "bench_fig2_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

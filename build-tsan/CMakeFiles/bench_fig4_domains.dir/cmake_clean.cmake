@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_domains.dir/bench/bench_fig4_domains.cpp.o"
+  "CMakeFiles/bench_fig4_domains.dir/bench/bench_fig4_domains.cpp.o.d"
+  "bench_fig4_domains"
+  "bench_fig4_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_snapshot.dir/bench/bench_fig5_snapshot.cpp.o"
+  "CMakeFiles/bench_fig5_snapshot.dir/bench/bench_fig5_snapshot.cpp.o.d"
+  "bench_fig5_snapshot"
+  "bench_fig5_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

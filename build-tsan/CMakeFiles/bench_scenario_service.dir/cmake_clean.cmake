@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_service.dir/bench/bench_scenario_service.cpp.o"
+  "CMakeFiles/bench_scenario_service.dir/bench/bench_scenario_service.cpp.o.d"
+  "bench_scenario_service"
+  "bench_scenario_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supervisor.dir/bench/bench_supervisor.cpp.o"
+  "CMakeFiles/bench_supervisor.dir/bench/bench_supervisor.cpp.o.d"
+  "bench_supervisor"
+  "bench_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

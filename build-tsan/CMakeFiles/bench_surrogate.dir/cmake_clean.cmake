@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_surrogate.dir/bench/bench_surrogate.cpp.o"
+  "CMakeFiles/bench_surrogate.dir/bench/bench_surrogate.cpp.o.d"
+  "bench_surrogate"
+  "bench_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sota.dir/bench/bench_table1_sota.cpp.o"
+  "CMakeFiles/bench_table1_sota.dir/bench/bench_table1_sota.cpp.o.d"
+  "bench_table1_sota"
+  "bench_table1_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

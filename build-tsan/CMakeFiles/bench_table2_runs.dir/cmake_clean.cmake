@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_runs.dir/bench/bench_table2_runs.cpp.o"
+  "CMakeFiles/bench_table2_runs.dir/bench/bench_table2_runs.cpp.o.d"
+  "bench_table2_runs"
+  "bench_table2_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

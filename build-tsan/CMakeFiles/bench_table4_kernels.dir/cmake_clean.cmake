@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_kernels.dir/bench/bench_table4_kernels.cpp.o"
+  "CMakeFiles/bench_table4_kernels.dir/bench/bench_table4_kernels.cpp.o.d"
+  "CMakeFiles/bench_table4_kernels.dir/bench/table4_baselines.cpp.o"
+  "CMakeFiles/bench_table4_kernels.dir/bench/table4_baselines.cpp.o.d"
+  "bench_table4_kernels"
+  "bench_table4_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

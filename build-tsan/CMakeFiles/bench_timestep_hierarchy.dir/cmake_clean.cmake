@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timestep_hierarchy.dir/bench/bench_timestep_hierarchy.cpp.o"
+  "CMakeFiles/bench_timestep_hierarchy.dir/bench/bench_timestep_hierarchy.cpp.o.d"
+  "bench_timestep_hierarchy"
+  "bench_timestep_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timestep_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

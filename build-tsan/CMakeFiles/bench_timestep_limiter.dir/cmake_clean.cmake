@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timestep_limiter.dir/bench/bench_timestep_limiter.cpp.o"
+  "CMakeFiles/bench_timestep_limiter.dir/bench/bench_timestep_limiter.cpp.o.d"
+  "bench_timestep_limiter"
+  "bench_timestep_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timestep_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_pipeline.dir/bench/bench_tree_pipeline.cpp.o"
+  "CMakeFiles/bench_tree_pipeline.dir/bench/bench_tree_pipeline.cpp.o.d"
+  "bench_tree_pipeline"
+  "bench_tree_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

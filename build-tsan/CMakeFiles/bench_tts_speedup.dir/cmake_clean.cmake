@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tts_speedup.dir/bench/bench_tts_speedup.cpp.o"
+  "CMakeFiles/bench_tts_speedup.dir/bench/bench_tts_speedup.cpp.o.d"
+  "bench_tts_speedup"
+  "bench_tts_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tts_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

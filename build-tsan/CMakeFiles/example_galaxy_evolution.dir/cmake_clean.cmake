@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_galaxy_evolution.dir/examples/galaxy_evolution.cpp.o"
+  "CMakeFiles/example_galaxy_evolution.dir/examples/galaxy_evolution.cpp.o.d"
+  "example_galaxy_evolution"
+  "example_galaxy_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_galaxy_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scaling_cluster.dir/examples/scaling_cluster.cpp.o"
+  "CMakeFiles/example_scaling_cluster.dir/examples/scaling_cluster.cpp.o.d"
+  "example_scaling_cluster"
+  "example_scaling_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scaling_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sn_blastwave.dir/examples/sn_blastwave.cpp.o"
+  "CMakeFiles/example_sn_blastwave.dir/examples/sn_blastwave.cpp.o.d"
+  "example_sn_blastwave"
+  "example_sn_blastwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sn_blastwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sn_blastwave.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_train_surrogate.dir/examples/train_surrogate.cpp.o"
+  "CMakeFiles/example_train_surrogate.dir/examples/train_surrogate.cpp.o.d"
+  "example_train_surrogate"
+  "example_train_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_train_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

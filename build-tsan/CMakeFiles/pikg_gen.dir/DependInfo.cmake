@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pikg/dsl.cpp" "CMakeFiles/pikg_gen.dir/src/pikg/dsl.cpp.o" "gcc" "CMakeFiles/pikg_gen.dir/src/pikg/dsl.cpp.o.d"
+  "/root/repo/src/pikg/ppa.cpp" "CMakeFiles/pikg_gen.dir/src/pikg/ppa.cpp.o" "gcc" "CMakeFiles/pikg_gen.dir/src/pikg/ppa.cpp.o.d"
+  "/root/repo/tools/pikg_gen.cpp" "CMakeFiles/pikg_gen.dir/tools/pikg_gen.cpp.o" "gcc" "CMakeFiles/pikg_gen.dir/tools/pikg_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pikg_gen.dir/src/pikg/dsl.cpp.o"
+  "CMakeFiles/pikg_gen.dir/src/pikg/dsl.cpp.o.d"
+  "CMakeFiles/pikg_gen.dir/src/pikg/ppa.cpp.o"
+  "CMakeFiles/pikg_gen.dir/src/pikg/ppa.cpp.o.d"
+  "CMakeFiles/pikg_gen.dir/tools/pikg_gen.cpp.o"
+  "CMakeFiles/pikg_gen.dir/tools/pikg_gen.cpp.o.d"
+  "pikg_gen"
+  "pikg_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pikg_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pikg_generated_sources"
+  "generated/pikg_gravity.hpp"
+  "generated/pikg_kernels.hpp"
+  "generated/pikg_kernels_avx2.cpp"
+  "generated/pikg_kernels_avx512.cpp"
+  "generated/pikg_kernels_scalar.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/pikg_generated_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_server.dir/tools/scenario_server.cpp.o"
+  "CMakeFiles/scenario_server.dir/tools/scenario_server.cpp.o.d"
+  "scenario_server"
+  "scenario_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fdps.dir/tests/test_fdps.cpp.o"
+  "CMakeFiles/test_fdps.dir/tests/test_fdps.cpp.o.d"
+  "test_fdps"
+  "test_fdps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fdps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_galaxy.dir/tests/test_galaxy.cpp.o"
+  "CMakeFiles/test_galaxy.dir/tests/test_galaxy.cpp.o.d"
+  "test_galaxy"
+  "test_galaxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_galaxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

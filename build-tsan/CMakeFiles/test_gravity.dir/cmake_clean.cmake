@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gravity.dir/tests/test_gravity.cpp.o"
+  "CMakeFiles/test_gravity.dir/tests/test_gravity.cpp.o.d"
+  "test_gravity"
+  "test_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_codegen.dir/tests/test_kernel_codegen.cpp.o"
+  "CMakeFiles/test_kernel_codegen.dir/tests/test_kernel_codegen.cpp.o.d"
+  "test_kernel_codegen"
+  "test_kernel_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

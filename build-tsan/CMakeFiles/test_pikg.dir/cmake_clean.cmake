@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pikg.dir/tests/test_pikg.cpp.o"
+  "CMakeFiles/test_pikg.dir/tests/test_pikg.cpp.o.d"
+  "test_pikg"
+  "test_pikg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pikg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

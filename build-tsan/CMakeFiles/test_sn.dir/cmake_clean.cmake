@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sn.dir/tests/test_sn.cpp.o"
+  "CMakeFiles/test_sn.dir/tests/test_sn.cpp.o.d"
+  "test_sn"
+  "test_sn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

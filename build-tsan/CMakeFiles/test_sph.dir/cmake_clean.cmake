@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sph.dir/tests/test_sph.cpp.o"
+  "CMakeFiles/test_sph.dir/tests/test_sph.cpp.o.d"
+  "test_sph"
+  "test_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

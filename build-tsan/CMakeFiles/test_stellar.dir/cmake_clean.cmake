@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stellar.dir/tests/test_stellar.cpp.o"
+  "CMakeFiles/test_stellar.dir/tests/test_stellar.cpp.o.d"
+  "test_stellar"
+  "test_stellar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stellar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

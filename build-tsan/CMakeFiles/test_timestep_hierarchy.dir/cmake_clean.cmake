@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timestep_hierarchy.dir/tests/test_timestep_hierarchy.cpp.o"
+  "CMakeFiles/test_timestep_hierarchy.dir/tests/test_timestep_hierarchy.cpp.o.d"
+  "test_timestep_hierarchy"
+  "test_timestep_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timestep_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

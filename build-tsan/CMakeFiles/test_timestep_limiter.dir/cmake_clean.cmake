@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timestep_limiter.dir/tests/test_timestep_limiter.cpp.o"
+  "CMakeFiles/test_timestep_limiter.dir/tests/test_timestep_limiter.cpp.o.d"
+  "test_timestep_limiter"
+  "test_timestep_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timestep_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

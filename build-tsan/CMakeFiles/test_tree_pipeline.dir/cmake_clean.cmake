@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_pipeline.dir/tests/test_tree_pipeline.cpp.o"
+  "CMakeFiles/test_tree_pipeline.dir/tests/test_tree_pipeline.cpp.o.d"
+  "test_tree_pipeline"
+  "test_tree_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voxel.dir/tests/test_voxel.cpp.o"
+  "CMakeFiles/test_voxel.dir/tests/test_voxel.cpp.o.d"
+  "test_voxel"
+  "test_voxel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voxel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
