@@ -78,9 +78,24 @@ void DistributedEngine::exchangeParticles(std::vector<Particle>& parts,
   bool decomposed = false;
   if (!dd_.ready() ||
       (cfg_.decompose_interval > 0 && step % cfg_.decompose_interval == 0)) {
-    dd_.decompose(comm_, parts, rng, cfg_.sample_cap);
+    if (cfg_.weighted_decomposition) {
+      dd_.decomposeWeighted(comm_, parts, rng, cfg_.sample_cap, cfg_.oversub);
+    } else {
+      dd_.decompose(comm_, parts, rng, cfg_.sample_cap);
+    }
     decomposed = true;
     ++stats_.decompositions;
+  } else if (cfg_.weighted_decomposition && dd_.weighted()) {
+    // Between full re-decompositions: re-weigh the unchanged segments from
+    // the current work counters and move only boundary segments when the
+    // imbalance drifted past the threshold. A below-threshold step changes
+    // nothing — the exchange cache survives intact.
+    double imbalance = 0.0;
+    if (dd_.maintain(comm_, parts, cfg_.imbalance_threshold, &imbalance)) {
+      decomposed = true;
+      ++stats_.rebalances;
+    }
+    stats_.balance_max_over_mean = imbalance;
   }
 
   long moved_local = 0;
@@ -135,13 +150,15 @@ void DistributedEngine::fullExchange(std::vector<Particle>& parts,
   detachGhosts(parts, n_local, ctx);
 
   // Locals-only tree for the export walks (the cached gravity tree holds
-  // imports and cannot serve exportLet).
+  // imports and cannot serve exportLet). The walk provenance is recorded so
+  // later passes can refresh the entry *values* without re-walking.
   export_tree_.build(fdps::makeSourceEntries(parts), grav.leaf_size);
-  ctx.letImports() =
-      fdps::exchangeGravityLet(comm_, dd_, export_tree_, grav.theta, torus());
+  ctx.letImports() = fdps::exchangeGravityLet(comm_, dd_, export_tree_, grav.theta,
+                                              torus(), &let_record_);
   // exchangeGravityLet skips the walk loop entirely for an empty local
   // tree, so an empty rank reports 0 walks, not P-1.
   ctx.noteLetExchange(export_tree_.empty() ? 0 : comm_.size() - 1);
+  let_drift_ = 0.0;
 
   const double reach = sph::maxGatherRadius(parts, parts.size());
   ghost_cache_ = fdps::exchangeHydroGhostsCached(comm_, dd_, parts, parts.size(),
@@ -169,6 +186,25 @@ void DistributedEngine::ensureExchanged(std::vector<Particle>& parts,
   }
 
   ctx.noteLetReuse();
+  if (allow_value_refresh && cfg_.refresh_let_values && comm_.size() > 1) {
+    // Payload-style LET refresh: if any rank drifted since the entry values
+    // were last synced, every rank recomputes its exported values from live
+    // particle state along the recorded walk structure and re-ships them —
+    // an alltoallv, no exportLet walk, no tree build. Both gates are
+    // collective reductions so ranks cannot disagree about the exchange
+    // (a pre-record checkpoint restores with an empty record on *every*
+    // rank, so the Min keeps the cluster out of the refresh together).
+    const int ready = comm_.allreduce(let_record_.ready(comm_.size()) ? 1 : 0, Op::Min);
+    const int drifted = comm_.allreduce(let_drift_ > 0.0 ? 1 : 0, Op::Max);
+    if (ready != 0 && drifted != 0) {
+      const bool was_attached = attached_;
+      detachGhosts(parts, n_local, ctx);
+      ctx.letImports() = fdps::refreshLetValues(comm_, let_record_, parts, torus());
+      ctx.noteLetValueRefresh();
+      let_drift_ = 0.0;
+      if (was_attached) attachGhosts(parts, n_local, ctx);
+    }
+  }
   if (allow_value_refresh && cfg_.refresh_ghost_values) {
     // Same ghost list, fresh payloads: remote kicks/cooling updates become
     // visible to the density gather without any selection scan or exportLet
@@ -351,7 +387,8 @@ void DistributedEngine::directFeedback(std::vector<Particle>& parts,
 
 DistributedEngine::EngineState DistributedEngine::saveState() const {
   if (attached_) throw std::logic_error("saveState: detach ghosts first");
-  return {dd_.saveCuts(), ghost_cache_, drift_accum_, dirty_local_};
+  return {dd_.saveCuts(), ghost_cache_, drift_accum_, dirty_local_, let_record_,
+          let_drift_};
 }
 
 void DistributedEngine::restoreState(EngineState s) {
@@ -359,6 +396,8 @@ void DistributedEngine::restoreState(EngineState s) {
   ghost_cache_ = std::move(s.ghost_cache);
   drift_accum_ = s.drift_accum;
   dirty_local_ = s.dirty_local;
+  let_record_ = std::move(s.let_record);
+  let_drift_ = s.let_drift;
   attached_ = false;
   stats_ = ExchangeStats{};
 }

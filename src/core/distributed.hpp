@@ -98,6 +98,24 @@ struct DistributedConfig {
   /// pass reuses the ghost list (keeps remote cooling/kicks visible between
   /// full exchanges). Uniform across ranks by construction.
   bool refresh_ghost_values = true;
+  /// Recompute LET entry *values* (monopoles by direct summation over the
+  /// recorded walk structure, raw entries from live particles) when a full
+  /// pass reuses the cached entry set after local drift — no exportLet walk.
+  /// Closes the "LET imports coast within the skin" gap at
+  /// decompose_interval > 1. Uniform across ranks by construction.
+  bool refresh_let_values = true;
+  /// Work-weighted Morton-segment decomposition instead of the equal-count
+  /// rectilinear split: segments weighted by the decayed per-particle work
+  /// counters, greedy segment->rank assignment, and a cheap maintain() pass
+  /// between full re-decompositions. Pair with decompose_interval = 0 so
+  /// maintain() is the only rebalancer after the initial decomposition and
+  /// the exchange cache survives quiet step boundaries.
+  bool weighted_decomposition = false;
+  /// Segments per rank (over-decomposition factor) of the weighted mode.
+  int oversub = 12;
+  /// maintain() re-runs the greedy assignment only when the per-rank
+  /// segment-weight imbalance max/mean exceeds this.
+  double imbalance_threshold = 1.15;
 };
 
 /// Per-step exchange statistics of one rank (also exported via StepStats).
@@ -110,6 +128,11 @@ struct ExchangeStats {
   /// neighbour set. Nonzero means ghost_h_margin / max_reach_retries need
   /// raising for this scenario.
   int reach_giveups = 0;
+  /// Incremental maintain() reassignments this step (weighted mode only).
+  int rebalances = 0;
+  /// Per-rank segment-weight imbalance max/mean measured by the last
+  /// maintain() this step; 0 when maintain() did not run.
+  double balance_max_over_mean = 0.0;
 };
 
 class DistributedEngine {
@@ -167,8 +190,12 @@ class DistributedEngine {
   void detachGhosts(std::vector<Particle>& parts, std::size_t& n_local,
                     fdps::StepContext& ctx);
 
-  /// Accumulate a bound on local displacement since the last exchange.
-  void noteDrift(double dmax) { drift_accum_ += dmax; }
+  /// Accumulate a bound on local displacement since the last exchange (and
+  /// since the last LET value sync, which resets independently).
+  void noteDrift(double dmax) {
+    drift_accum_ += dmax;
+    let_drift_ += dmax;
+  }
   /// Flag this rank dirty (surrogate replacement, star formation); the next
   /// ensureExchanged turns it into a collective re-exchange.
   void markDirty() { dirty_local_ = true; }
@@ -225,6 +252,12 @@ class DistributedEngine {
     fdps::GhostExchange ghost_cache;
     double drift_accum = 0.0;
     bool dirty_local = false;
+    /// Walk provenance of the live LET entry set plus the drift accumulated
+    /// since its values were last synced — without these a restored run
+    /// would skip (or differently compute) the payload-style LET refresh
+    /// and diverge from the continuous run.
+    fdps::LetExportRecord let_record;
+    double let_drift = 0.0;
   };
   [[nodiscard]] EngineState saveState() const;
   void restoreState(EngineState s);
@@ -243,7 +276,9 @@ class DistributedEngine {
 
   fdps::SourceTree export_tree_;     ///< locals-only tree for exportLet walks
   fdps::GhostExchange ghost_cache_;  ///< export lists + reach of the live set
+  fdps::LetExportRecord let_record_; ///< walk provenance of the live LET set
   double drift_accum_ = 0.0;         ///< local displacement since exchange
+  double let_drift_ = 0.0;           ///< displacement since last LET value sync
   bool dirty_local_ = false;
   bool attached_ = false;
   ExchangeStats stats_;

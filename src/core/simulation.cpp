@@ -66,6 +66,7 @@ StepStats Simulation::step() {
   // sub-step counters or limiter tallies leak into this step's report.
   stats_ = StepStats{};
   StepStats& stats = stats_;
+  work_seconds_accum_ = 0.0;
   step_ctx_.beginStep();
   reportProgress(0);  // step entered
 
@@ -91,6 +92,25 @@ StepStats Simulation::step() {
     id_index_valid_ = false;
   } else {
     n_local_ = parts_.size();
+  }
+
+  // Decay the per-particle work counters (weighted-decomposition signal)
+  // before this step's closing kicks accrue fresh tallies, and charge each
+  // particle its static per-step cost up front: the two full force passes
+  // target every local (gravity + hydro for gas) regardless of rung, so a
+  // work signal made of closing kicks alone would overweight deep-rung
+  // pockets ~3x and starve the ranks carrying the O(N) full-pass load.
+  // Runs identically in serial and distributed mode over the owned span —
+  // work is carried through migrations and checkpoints but never read by
+  // physics.
+  {
+    const auto n_loc = static_cast<std::int64_t>(n_local_);
+    const double decay = cfg_.work_decay;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n_loc; ++i) {
+      auto& p = parts_[static_cast<std::size_t>(i)];
+      p.work = p.work * decay + (p.isGas() ? 4.0 : 2.0);
+    }
   }
 
   double dt = cfg_.dt_global;
@@ -171,6 +191,9 @@ StepStats Simulation::step() {
       util::TimerRegistry::Scope scope(timers_, "Final_kick");
       for (std::size_t i = 0; i < n_local_; ++i) {
         parts_[i].vel += 0.5 * dt * parts_[i].acc;
+        // Work accrual: one closing kick, gas costing double for its extra
+        // density + hydro passes. Feeds the weighted decomposition only.
+        parts_[i].work += parts_[i].isGas() ? 2.0 : 1.0;
       }
     }
   }
@@ -267,10 +290,38 @@ StepStats Simulation::step() {
   stats.ghost_exchanges = step_ctx_.ghostExchangesThisStep();
   stats.ghost_value_refreshes = step_ctx_.ghostValueRefreshesThisStep();
   stats.ghost_reuses = step_ctx_.ghostReusesThisStep();
+  stats.let_value_refreshes = step_ctx_.letValueRefreshesThisStep();
+  stats.work_seconds = work_seconds_accum_;
   if (dist_) {
     stats.migrated = dist_->stats().migrated;
     stats.reach_retries = dist_->stats().reach_retries;
     stats.reach_giveups = dist_->stats().reach_giveups;
+    stats.rebalances = dist_->stats().rebalances;
+    stats.balance_max_over_mean = dist_->stats().balance_max_over_mean;
+    // Imbalance diagnostics: every rank publishes its compute-section wall
+    // clock and its force-evaluation count; the max/mean ratios are the
+    // step's realized load imbalance (wall-based and deterministic).
+    // Uniform collective — all ranks reach this at the same step phase.
+    const std::array<double, 2> mine{
+        work_seconds_accum_, static_cast<double>(stats.force_evaluations)};
+    const auto all = dist_->comm().allgather(mine);
+    double wmax = 0.0, wsum = 0.0, emax = 0.0, esum = 0.0;
+    for (const auto& a : all) {
+      wmax = std::max(wmax, a[0]);
+      wsum += a[0];
+      emax = std::max(emax, a[1]);
+      esum += a[1];
+    }
+    const auto n_ranks = static_cast<double>(all.size());
+    stats.rank_work_max = wmax;
+    stats.rank_work_mean = all.empty() ? 0.0 : wsum / n_ranks;
+    stats.rank_evals_max = emax;
+    stats.rank_evals_mean = all.empty() ? 0.0 : esum / n_ranks;
+  } else {
+    stats.rank_work_max = work_seconds_accum_;
+    stats.rank_work_mean = work_seconds_accum_;
+    stats.rank_evals_max = static_cast<double>(stats.force_evaluations);
+    stats.rank_evals_mean = stats.rank_evals_max;
   }
   // Degradation visibility: jobs completed since the last step whose result
   // came from the fallback backend (or the identity last resort).
@@ -680,6 +731,12 @@ void Simulation::hierarchicalIntegrate(StepStats& stats, double dt) {
         const double dt_p =
             dt_min * static_cast<double>(step_end_[i] - step_begin_[i]);
         p.vel += 0.5 * dt_p * p.acc;
+        // Work accrual: one closing kick, gas costing double for its extra
+        // density + hydro passes. A deep-rung particle closes many times per
+        // global step, so SN-heated pockets dominate the tally — exactly the
+        // signal the weighted decomposition balances on. Never read by
+        // physics.
+        p.work += p.isGas() ? 2.0 : 1.0;
         if (p.isGas() && !p.frozen) {
           // The forward u update issued at opening has now "arrived": the
           // stored u is the value at this closing time, so the prediction
@@ -731,9 +788,17 @@ sph::DensityStats Simulation::solveDensityWithReachRetries(
     }
   };
   const auto solve = [&]() -> sph::DensityStats {
-    if (full_set) return sph::solveDensity(step_ctx_, parts_, n_local_, sphParams());
-    if (active_gas.empty()) return {};
-    return sph::solveDensity(step_ctx_, parts_, n_local_, sphParams(), active_gas);
+    // Pure-compute section: timed into work_seconds_accum_ (no collectives
+    // inside the solve itself — the retry protocol around it is collective).
+    const double t0 = util::wtime();
+    sph::DensityStats ds{};
+    if (full_set) {
+      ds = sph::solveDensity(step_ctx_, parts_, n_local_, sphParams());
+    } else if (!active_gas.empty()) {
+      ds = sph::solveDensity(step_ctx_, parts_, n_local_, sphParams(), active_gas);
+    }
+    work_seconds_accum_ += util::wtime() - t0;
+    return ds;
   };
 
   snapshot_h();
@@ -801,6 +866,7 @@ void Simulation::computeForcesActive(StepStats& stats,
   }
   {
     util::TimerRegistry::Scope scope(timers_, "1st Calc_Force");
+    const double t0 = util::wtime();
     const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
                            : std::span<const fdps::SourceEntry>{};
     const auto gs = gravity::accumulateTreeGravity(step_ctx_, localSpan(), let,
@@ -816,6 +882,7 @@ void Simulation::computeForcesActive(StepStats& stats,
     timers_.add("Tree_Walk (cpu)", fs.t_walk);
     timers_.add("Interaction_Kernel (cpu)", fs.t_kernel);
     accumulate(stats.force_stats, fs);
+    work_seconds_accum_ += util::wtime() - t0;
   }
   stats.force_evaluations += active.size() + active_gas.size();
 }
@@ -875,6 +942,7 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
   { util::TimerRegistry::Scope scope(timers_, let_cat); /* exchange ran above */ }
   {
     util::TimerRegistry::Scope scope(timers_, force_cat);
+    const double t0 = util::wtime();
     const auto let = dist_ ? std::span<const fdps::SourceEntry>(step_ctx_.letImports())
                            : std::span<const fdps::SourceEntry>{};
     const auto gs =
@@ -898,6 +966,7 @@ void Simulation::computeForces(StepStats& stats, bool first_pass) {
     // the per-particle vsig behind it feeds the rung criteria) — the
     // standalone cflTimestep sweep is no longer on the step path.
     last_cfl_dt_ = fs.dt_cfl_min;
+    work_seconds_accum_ += util::wtime() - t0;
   }
   std::size_t n_gas = 0;
   for (std::size_t i = 0; i < n_local_; ++i) {
@@ -1130,6 +1199,9 @@ void Simulation::validateConfig() const {
   if (!(cfg_.cfl_dt_min > 0.0)) bad("cfl_dt_min must be positive");
   if (!(cfg_.eta_acc > 0.0)) bad("eta_acc must be positive");
   if (!(cfg_.rung_safety > 0.0)) bad("rung_safety must be positive");
+  if (!(cfg_.work_decay >= 0.0) || !(cfg_.work_decay < 1.0)) {
+    bad("work_decay must lie in [0, 1)");
+  }
   if (cfg_.max_rung < 0 || cfg_.max_rung >= kMaxRungs) {
     bad("max_rung must lie in [0, " + std::to_string(kMaxRungs - 1) + "]");
   }
@@ -1231,7 +1303,13 @@ namespace {
 // counter is serialized, and the config gains surrogate_max_batch. v1
 // checkpoints still restore (job_id 0 sentinel, counter untouched, default
 // batch knob).
-constexpr std::uint32_t kStateVersion = 2;
+// v3: particles carry their work counter, the config gains work_decay, and
+// the engine block appends the weighted-decomposition segment map plus the
+// LET export record + drift so a restored run makes the same rebalance and
+// payload-refresh decisions as the continuous one. Pre-v3 checkpoints
+// restore with work = 0 and an empty record (first refresh opportunity is
+// skipped collectively — the record-readiness gate is an allreduce Min).
+constexpr std::uint32_t kStateVersion = 3;
 constexpr std::uint32_t kMinStateVersion = 1;
 
 void putConfig(io::ByteWriter& w, const SimulationConfig& c) {
@@ -1280,6 +1358,7 @@ void putConfig(io::ByteWriter& w, const SimulationConfig& c) {
   w.putString(c.abort_checkpoint_path);
   w.putU64(c.seed);
   w.putI32(c.surrogate_max_batch);  // v2+
+  w.putF64(c.work_decay);           // v3+
 }
 
 SimulationConfig getConfig(io::ByteReader& r, std::uint32_t version) {
@@ -1329,6 +1408,7 @@ SimulationConfig getConfig(io::ByteReader& r, std::uint32_t version) {
   c.abort_checkpoint_path = r.getString();
   c.seed = r.getU64();
   if (version >= 2) c.surrogate_max_batch = r.getI32();
+  if (version >= 3) c.work_decay = r.getF64();
   return c;
 }
 
@@ -1410,6 +1490,38 @@ void Simulation::serializeState(io::ByteWriter& w) {
     w.putF64(es.ghost_cache.exported_reach);
     w.putF64(es.drift_accum);
     w.putBool(es.dirty_local);
+    // v3+: weighted-decomposition segment map. The cube and segment keys
+    // fully determine ownerOf/domainOf, so a restored cluster reproduces the
+    // continuous run's migration and import decisions bitwise.
+    w.putBool(es.cuts.weighted);
+    w.putF64(es.cuts.cube.lo.x);
+    w.putF64(es.cuts.cube.lo.y);
+    w.putF64(es.cuts.cube.lo.z);
+    w.putF64(es.cuts.cube.hi.x);
+    w.putF64(es.cuts.cube.hi.y);
+    w.putF64(es.cuts.cube.hi.z);
+    w.putVector(es.cuts.seg_keys,
+                [](io::ByteWriter& ww, const std::uint64_t& k) { ww.putU64(k); });
+    w.putVector(es.cuts.seg_rank,
+                [](io::ByteWriter& ww, const int& v) { ww.putI32(v); });
+    w.putVector(es.cuts.seg_weight, put_f64);
+    // v3+: LET export record + accumulated drift, so the payload-style LET
+    // refresh fires at the same steps (and sums the same exports in the
+    // same order) as the continuous run.
+    w.putVector(es.let_record.items,
+                [](io::ByteWriter& ww, const std::vector<fdps::LetExportItem>& v) {
+                  ww.putVector(v, [](io::ByteWriter& w3, const fdps::LetExportItem& it) {
+                    w3.putU32(it.first);
+                    w3.putU32(it.count);
+                  });
+                });
+    w.putVector(es.let_record.perm,
+                [](io::ByteWriter& ww, const std::uint32_t& u) { ww.putU32(u); });
+    w.putVector(es.let_record.import_counts,
+                [](io::ByteWriter& ww, const std::size_t& s) {
+                  ww.putU64(static_cast<std::uint64_t>(s));
+                });
+    w.putF64(es.let_drift);
   }
 }
 
@@ -1443,8 +1555,8 @@ void Simulation::restoreState(io::ByteReader& r) {
   rng_.restoreState(rs);
   sfr_history_ =
       r.getVector<double>([](io::ByteReader& rr) { return rr.getF64(); });
-  parts_ = r.getVector<Particle>([](io::ByteReader& rr) {
-    return io::getParticle(rr);
+  parts_ = r.getVector<Particle>([version](io::ByteReader& rr) {
+    return io::getParticle(rr, /*with_work=*/version >= 3);
   });
   n_local_ = parts_.size();
   id_index_valid_ = false;
@@ -1464,8 +1576,8 @@ void Simulation::restoreState(io::ByteReader& r) {
           PoolNodeScheduler::PendingResult pr;
           pr.release_step = rr.getI64();
           if (version >= 2) pr.job_id = rr.getU64();  // v1: 0 sentinel
-          pr.region = rr.getVector<Particle>([](io::ByteReader& r3) {
-            return io::getParticle(r3);
+          pr.region = rr.getVector<Particle>([version](io::ByteReader& r3) {
+            return io::getParticle(r3, /*with_work=*/version >= 3);
           });
           return pr;
         });
@@ -1482,8 +1594,8 @@ void Simulation::restoreState(io::ByteReader& r) {
     auto let = r.getVector<fdps::SourceEntry>([](io::ByteReader& rr) {
       return io::getSourceEntry(rr);
     });
-    auto ghosts = r.getVector<Particle>([](io::ByteReader& rr) {
-      return io::getParticle(rr);
+    auto ghosts = r.getVector<Particle>([version](io::ByteReader& rr) {
+      return io::getParticle(rr, /*with_work=*/version >= 3);
     });
     const bool let_valid = r.getBool();
     const bool ghosts_valid = r.getBool();
@@ -1494,8 +1606,8 @@ void Simulation::restoreState(io::ByteReader& r) {
     es.cuts.x = r.getVector<double>(get_f64);
     es.cuts.y = r.getVector<double>(get_f64);
     es.cuts.z = r.getVector<double>(get_f64);
-    es.ghost_cache.ghosts = r.getVector<Particle>([](io::ByteReader& rr) {
-      return io::getParticle(rr);
+    es.ghost_cache.ghosts = r.getVector<Particle>([version](io::ByteReader& rr) {
+      return io::getParticle(rr, /*with_work=*/version >= 3);
     });
     es.ghost_cache.export_idx = r.getVector<std::vector<std::uint32_t>>(
         [](io::ByteReader& rr) {
@@ -1507,6 +1619,34 @@ void Simulation::restoreState(io::ByteReader& r) {
     es.ghost_cache.exported_reach = r.getF64();
     es.drift_accum = r.getF64();
     es.dirty_local = r.getBool();
+    if (version >= 3) {
+      es.cuts.weighted = r.getBool();
+      es.cuts.cube.lo.x = r.getF64();
+      es.cuts.cube.lo.y = r.getF64();
+      es.cuts.cube.lo.z = r.getF64();
+      es.cuts.cube.hi.x = r.getF64();
+      es.cuts.cube.hi.y = r.getF64();
+      es.cuts.cube.hi.z = r.getF64();
+      es.cuts.seg_keys = r.getVector<std::uint64_t>(
+          [](io::ByteReader& rr) { return rr.getU64(); });
+      es.cuts.seg_rank =
+          r.getVector<int>([](io::ByteReader& rr) { return rr.getI32(); });
+      es.cuts.seg_weight = r.getVector<double>(get_f64);
+      es.let_record.items = r.getVector<std::vector<fdps::LetExportItem>>(
+          [](io::ByteReader& rr) {
+            return rr.getVector<fdps::LetExportItem>([](io::ByteReader& r3) {
+              fdps::LetExportItem it;
+              it.first = r3.getU32();
+              it.count = r3.getU32();
+              return it;
+            });
+          });
+      es.let_record.perm = r.getVector<std::uint32_t>(
+          [](io::ByteReader& rr) { return rr.getU32(); });
+      es.let_record.import_counts = r.getVector<std::size_t>(
+          [](io::ByteReader& rr) { return static_cast<std::size_t>(rr.getU64()); });
+      es.let_drift = r.getF64();
+    }
     dist_->restoreState(std::move(es));
   }
 

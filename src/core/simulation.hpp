@@ -178,6 +178,12 @@ struct SimulationConfig {
   /// less active-set force work on SN-driven phases for ~1.8x the (small)
   /// energy-drift rate. Set 0.35 to reproduce PR 2's accuracy point.
   double rung_safety = 0.8;
+  /// Multiplier applied to every particle's work counter at step entry
+  /// (Particle::work, the per-particle closing-kick tally feeding the
+  /// work-weighted domain decomposition): quiet particles forget an SN
+  /// storm in a few tens of steps. Never read by physics, so it cannot
+  /// perturb trajectories; must lie in [0, 1).
+  double work_decay = 0.75;
 
   // --- surrogate / pool nodes ---
   double sn_box_size = 60.0;      ///< pc, region side length
@@ -272,6 +278,23 @@ struct StepStats {
   /// Passes that hit max_reach_retries with the reach still escaped — the
   /// pass proceeded on a truncated neighbour set (raise ghost_h_margin).
   int reach_giveups = 0;
+  // --- work-weighted balancing (zero on serial steps except work_seconds) ---
+  int let_value_refreshes = 0;   ///< payload-style refreshes of cached LET imports
+  int rebalances = 0;            ///< domain_maintain segment reassignments this step
+  /// Max-over-mean of the per-rank segment work weights seen by the last
+  /// maintain() sweep (0 when weighted decomposition is off).
+  double balance_max_over_mean = 0.0;
+  /// Wall-clock seconds this rank spent in the pure-compute sections of the
+  /// step (density solves, gravity and hydro force accumulation). The
+  /// imbalance metrics below are allgathered from this.
+  double work_seconds = 0.0;
+  double rank_work_max = 0.0;   ///< max over ranks of work_seconds
+  double rank_work_mean = 0.0;  ///< mean over ranks of work_seconds
+  /// Same max/mean over the per-rank force_evaluations — a deterministic
+  /// load measure immune to the scheduler noise wall clocks pick up when
+  /// ranks share cores (the in-process cluster always does).
+  double rank_evals_max = 0.0;
+  double rank_evals_mean = 0.0;
 };
 
 struct EnergyReport {
@@ -535,6 +558,11 @@ class Simulation {
   std::vector<long> step_begin_, step_end_;
   /// Most recent step's statistics (lastStats). step() resets this at entry.
   StepStats stats_;
+  /// Wall clock accumulated around the step's pure-compute sections
+  /// (density solves, gravity/hydro accumulation) — reset at step entry,
+  /// published as StepStats::work_seconds and allgathered for the
+  /// rank_work_max/mean imbalance metrics.
+  double work_seconds_accum_ = 0.0;
   /// Liveness callback of setProgressReporter (empty: no reporting).
   std::function<void(long, int)> progress_;
   /// Saitoh–Makino wake requests of the current force pass (packed

@@ -21,6 +21,7 @@ void StepContext::beginStep() {
   let_exchanges_step_ = 0;
   let_walks_step_ = 0;
   let_reuses_step_ = 0;
+  let_refreshes_step_ = 0;
   ghost_exchanges_step_ = 0;
   ghost_refreshes_step_ = 0;
   ghost_reuses_step_ = 0;

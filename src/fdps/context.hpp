@@ -234,6 +234,14 @@ class StepContext {
   /// along the remembered export index lists (no selection, no reach
   /// allgather, no exportLet walk).
   void noteGhostValueRefresh() { ++ghost_refreshes_step_; }
+  /// Record a LET *value* refresh: same entry set, values recomputed from
+  /// live particles along the remembered walk structure (no exportLet walk).
+  /// Counts as neither an exchange nor a reuse; bumps the LET epoch because
+  /// the imported values changed under the cached gravity tree.
+  void noteLetValueRefresh() {
+    ++let_epoch_;
+    ++let_refreshes_step_;
+  }
 
   /// Checkpoint restore: install previously exchanged import sets with their
   /// validity flags, without counting an exchange (nothing was shipped). The
@@ -254,6 +262,7 @@ class StepContext {
   [[nodiscard]] int letReusesThisStep() const { return let_reuses_step_; }
   [[nodiscard]] int ghostExchangesThisStep() const { return ghost_exchanges_step_; }
   [[nodiscard]] int ghostValueRefreshesThisStep() const { return ghost_refreshes_step_; }
+  [[nodiscard]] int letValueRefreshesThisStep() const { return let_refreshes_step_; }
   [[nodiscard]] int ghostReusesThisStep() const { return ghost_reuses_step_; }
   [[nodiscard]] std::uint64_t letExchangesTotal() const { return let_exchanges_total_; }
   [[nodiscard]] std::uint64_t ghostExchangesTotal() const { return ghost_exchanges_total_; }
@@ -308,6 +317,7 @@ class StepContext {
   bool let_valid_ = false, ghosts_valid_ = false;
   std::uint64_t let_epoch_ = 0;
   int let_exchanges_step_ = 0, let_walks_step_ = 0, let_reuses_step_ = 0;
+  int let_refreshes_step_ = 0;
   int ghost_exchanges_step_ = 0, ghost_refreshes_step_ = 0, ghost_reuses_step_ = 0;
   std::uint64_t let_exchanges_total_ = 0, ghost_exchanges_total_ = 0;
 };

@@ -11,7 +11,18 @@
 ///
 /// The exchange itself is an all-to-all with O(p^{1/3}) structure when a
 /// TorusTopology is supplied (§3.4), or a flat alltoallv otherwise.
+///
+/// A second, work-weighted mode (MP-Gadget's domain architecture) replaces
+/// the rectilinear grid with Morton-curve *segments*: the key space is
+/// over-decomposed into ~oversub x P aligned octree segments, each segment
+/// weighted by the decayed per-particle work counters, and contiguous runs
+/// of segments are assigned to ranks by a greedy weighted bin-packer. A
+/// cheap `maintain()` pass re-runs only the assignment over fresh weights
+/// when the rank imbalance drifts past a threshold — segment boundaries
+/// move by whole segments, so between full re-decompositions only boundary
+/// segments migrate and the cached LET/ghost exchange products survive.
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -21,6 +32,13 @@
 #include "util/rng.hpp"
 
 namespace asura::fdps {
+
+/// Contiguous greedy assignment of weighted segments to `ranks` bins: the
+/// boundary after rank r is placed where the cumulative weight best matches
+/// r+1 fair shares of the total, while guaranteeing every rank at least one
+/// segment. Deterministic for identical inputs (ties keep the earlier cut).
+[[nodiscard]] std::vector<int> assignSegmentsGreedy(const std::vector<double>& weights,
+                                                    int ranks);
 
 class DomainDecomposer {
  public:
@@ -33,6 +51,29 @@ class DomainDecomposer {
 
   /// Serial convenience (single "rank"): decompose from the full set.
   void decomposeSerial(const std::vector<Particle>& all);
+
+  /// Collective: work-weighted Morton-segment decomposition. Samples
+  /// (position, 1 + work) pairs with the same rng draw pattern as
+  /// decompose(), over-decomposes the key space into ~oversub x P segments
+  /// by octant refinement until a segment holds at most 1/(oversub x P) of
+  /// the total sampled work, then greedily assigns contiguous segment runs
+  /// to ranks. Every rank computes the identical result redundantly from
+  /// the allgathered samples (rank-ordered, so bitwise identical).
+  void decomposeWeighted(comm::Comm& comm, const std::vector<Particle>& local,
+                         util::Pcg32& rng, int sample_cap = 4096, int oversub = 12);
+
+  /// Collective, cheap (no sampling, no rng): re-weigh the *existing*
+  /// segments from the current locals' work counters and, if the per-rank
+  /// weight imbalance max/mean exceeds `threshold`, re-run the greedy
+  /// assignment over the unchanged segment structure — only boundary
+  /// segments change owner. Returns true iff the assignment changed;
+  /// `imbalance_out` (optional) receives the pre-rebalance max/mean ratio.
+  bool maintain(comm::Comm& comm, const std::vector<Particle>& local, double threshold,
+                double* imbalance_out = nullptr);
+
+  [[nodiscard]] bool weighted() const { return weighted_mode_; }
+  [[nodiscard]] std::size_t segmentCount() const { return seg_keys_.size(); }
+  [[nodiscard]] const Box& rootCube() const { return cube_; }
 
   [[nodiscard]] int ranks() const { return px_ * py_ * pz_; }
   [[nodiscard]] int px() const { return px_; }
@@ -47,22 +88,37 @@ class DomainDecomposer {
   [[nodiscard]] Box domainOf(int rank) const;
   [[nodiscard]] Box domainOfClamped(int rank, const Box& frame) const;
 
-  [[nodiscard]] bool ready() const { return !xcuts_.empty(); }
+  [[nodiscard]] bool ready() const { return weighted_mode_ || !xcuts_.empty(); }
 
   static constexpr double kHuge = 1.0e30;
 
   /// Snapshot of the cut hierarchy (checkpoint support). Restoring the cuts
   /// of a previous run makes ownerOf() bitwise identical to that run without
   /// re-sampling — re-decomposition would consume rng state and shift every
-  /// downstream migration decision.
+  /// downstream migration decision. In weighted mode the segment map (root
+  /// cube, start keys, owners, last weights) is the authoritative state; the
+  /// per-rank boxes are recomputed deterministically on restore.
   struct Cuts {
     std::vector<double> x, y, z;
+    bool weighted = false;
+    Box cube;
+    std::vector<std::uint64_t> seg_keys;
+    std::vector<int> seg_rank;
+    std::vector<double> seg_weight;
   };
-  [[nodiscard]] Cuts saveCuts() const { return {xcuts_, ycuts_, zcuts_}; }
+  [[nodiscard]] Cuts saveCuts() const {
+    return {xcuts_, ycuts_, zcuts_, weighted_mode_, cube_, seg_keys_, seg_rank_, seg_weight_};
+  }
   void restoreCuts(Cuts cuts) {
     xcuts_ = std::move(cuts.x);
     ycuts_ = std::move(cuts.y);
     zcuts_ = std::move(cuts.z);
+    weighted_mode_ = cuts.weighted;
+    cube_ = cuts.cube;
+    seg_keys_ = std::move(cuts.seg_keys);
+    seg_rank_ = std::move(cuts.seg_rank);
+    seg_weight_ = std::move(cuts.seg_weight);
+    if (weighted_mode_) computeRankBoxes();
   }
 
   /// Ship every particle to its owner; returns the new local population.
@@ -73,11 +129,21 @@ class DomainDecomposer {
 
  private:
   void computeCuts(std::vector<Vec3d> samples);
+  void computeRankBoxes();
+  [[nodiscard]] std::size_t segmentOf(std::uint64_t key) const;
 
   int px_, py_, pz_;
   std::vector<double> xcuts_;  ///< px+1 values
   std::vector<double> ycuts_;  ///< px rows of (py+1)
   std::vector<double> zcuts_;  ///< px*py rows of (pz+1)
+
+  // Work-weighted Morton-segment mode.
+  bool weighted_mode_ = false;
+  Box cube_;                               ///< root cube the keys are built in
+  std::vector<std::uint64_t> seg_keys_;    ///< segment start keys (sorted, [0]==0)
+  std::vector<int> seg_rank_;              ///< owner of each segment
+  std::vector<double> seg_weight_;         ///< last measured segment weights
+  std::vector<Box> rank_box_;              ///< cached union box per rank
 };
 
 }  // namespace asura::fdps

@@ -70,6 +70,15 @@ struct Particle {
   /// particle's next rung at rung_ngb - 2 so it can never be assigned a step
   /// more than 4x longer than an interacting neighbour's.
   std::uint8_t rung_ngb = 0;
+  /// Decayed per-particle work counter mirroring this particle's share of
+  /// the step's force-pass target evaluations: a static per-step charge for
+  /// the two full passes (2, or 4 for gas which also pays density + hydro)
+  /// plus 1 per closing kick (2 for gas), the whole multiplied by
+  /// Config::work_decay at every step start so quiet particles forget old
+  /// storms. Never read by physics — it only weights the domain
+  /// decomposition's Morton segments, so balancing cannot perturb
+  /// trajectories. Travels with the particle through migration/capture.
+  double work = 0.0;
 
   [[nodiscard]] bool isGas() const { return type == Species::Gas; }
   [[nodiscard]] bool isStar() const { return type == Species::Star; }

@@ -549,7 +549,8 @@ void SourceTree::gatherNeighbors(const Box& target, double gather_radius,
 }
 
 void SourceTree::exportLet(const Box& remote_box, double theta,
-                           std::vector<SourceEntry>& out) const {
+                           std::vector<SourceEntry>& out,
+                           std::vector<LetExportItem>* items) const {
   if (nodes_.empty()) return;
   std::vector<std::int32_t> stack{0};
   while (!stack.empty()) {
@@ -564,10 +565,14 @@ void SourceTree::exportLet(const Box& remote_box, double theta,
       e.h = 0.0;
       e.idx = SourceEntry::kMultipole;
       out.push_back(e);
+      if (items) items->push_back({n.first, n.count});
       continue;
     }
     if (n.isLeaf()) {
-      for (std::uint32_t i = n.first; i < n.first + n.count; ++i) out.push_back(entries_[i]);
+      for (std::uint32_t i = n.first; i < n.first + n.count; ++i) {
+        out.push_back(entries_[i]);
+        if (items) items->push_back({i, 0});
+      }
       continue;
     }
     for (std::int32_t c = 0; c < n.n_children; ++c) {

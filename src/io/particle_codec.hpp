@@ -55,9 +55,11 @@ inline void putParticle(ByteWriter& w, const fdps::Particle& p) {
   w.putU8(p.frozen);
   w.putU8(p.rung);
   w.putU8(p.rung_ngb);
+  w.putF64(p.work);  // state v3+
 }
 
-inline fdps::Particle getParticle(ByteReader& r) {
+/// `with_work = false` parses the pre-v3 layout (no trailing work counter).
+inline fdps::Particle getParticle(ByteReader& r, bool with_work = true) {
   fdps::Particle p;
   p.id = r.getU64();
   p.type = static_cast<fdps::Species>(r.getU8());
@@ -85,6 +87,7 @@ inline fdps::Particle getParticle(ByteReader& r) {
   p.frozen = r.getU8();
   p.rung = r.getU8();
   p.rung_ngb = r.getU8();
+  if (with_work) p.work = r.getF64();
   return p;
 }
 

@@ -94,6 +94,45 @@ inline std::vector<fdps::Particle> multiphaseBall(int n, std::uint64_t seed,
   return parts;
 }
 
+/// SN-storm fixture: a diffuse ambient ball plus a dense off-centre clump
+/// seeded with several SN progenitors firing on successive early steps.
+/// The staggered explosions drive the clump to deep rungs while the ambient
+/// medium idles at the coarse rung, so with a spatial split the clump's
+/// owner rank does nearly all of the closing-kick work — the pathological
+/// load imbalance the work-weighted decomposition exists to fix. Shared by
+/// the balancing tests and bench_distributed_step so the benchmarked
+/// scenario can never silently diverge from the tested one.
+inline std::vector<fdps::Particle> snStormIc(int n, std::uint64_t seed,
+                                             int n_sn = 4) {
+  // Ambient: ~3/4 of the particles, diffuse and cool.
+  auto parts = gasBall(3 * n / 4, 10.0, 1.0, seed, 100.0);
+  // Clump: the remaining quarter, dense, shifted off-centre so the spatial
+  // split cannot accidentally share it evenly across ranks.
+  auto clump = gasBall(n - 3 * n / 4, 1.5, 60.0, seed ^ 0x5bd1e995u, 100.0);
+  const util::Vec3d shift{4.0, 4.0, 4.0};
+  for (auto& p : clump) {
+    p.id += 1'000'000;
+    p.pos += shift;
+    parts.push_back(p);
+  }
+  // SN progenitors inside the clump, staggered so each early global step
+  // fires one — a rolling storm, not a single blast.
+  util::Pcg32 rng(seed ^ 0xdeadbeefu);
+  for (int i = 0; i < n_sn; ++i) {
+    fdps::Particle star;
+    star.id = 2'000'000 + static_cast<std::uint64_t>(i);
+    star.type = fdps::Species::Star;
+    star.mass = 20.0;
+    star.star_mass = 20.0;
+    star.pos = shift + util::Vec3d{rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                                   rng.uniform(-0.5, 0.5)};
+    star.t_sn = 1e-9 + static_cast<double>(i) * 5e-3;
+    star.eps = 0.5;
+    parts.push_back(star);
+  }
+  return parts;
+}
+
 /// Largest rung lag visible to the last hydro force pass: max over gas of
 /// (deepest neighbour rung - own rung). The limiter's pair-gap invariant is
 /// that this never exceeds sph::kLimiterGap at a published step boundary —

@@ -504,11 +504,13 @@ TEST(Checkpoint, InspectReportsDamageWithoutThrowing) {
 }
 
 // ---------------------------------------------------------------------------
-// State-payload version tolerance (v1 -> v2)
+// State-payload version tolerance (v1 -> v3)
 //
 // The payload version is independent of the file-header version above:
 // state v2 added per-pending job ids, the pool submission counter, and the
-// surrogate_max_batch config field. This pins the exact v1 wire layout —
+// surrogate_max_batch config field; v3 added the per-particle work counter,
+// work_decay, and the weighted-decomposition engine block. This pins the
+// exact v1 wire layout —
 // if a field is added or reordered without a version bump, this breaks, and
 // it should.
 // ---------------------------------------------------------------------------
@@ -558,7 +560,18 @@ void putConfigV1(asura::io::ByteWriter& w, const SimulationConfig& c) {
   w.putBool(c.validate_steps);
   w.putString(c.abort_checkpoint_path);
   w.putU64(c.seed);
-  // v1 ends here: no surrogate_max_batch.
+  // v1 ends here: no surrogate_max_batch (v2), no work_decay (v3).
+}
+
+// Pre-v3 particle wire layout: everything the current codec writes except
+// the trailing work counter. Pins the exact v1/v2 record so a codec change
+// without a version bump breaks here, as it should.
+void putParticlePreV3(asura::io::ByteWriter& w, const Particle& p) {
+  asura::io::ByteWriter tmp;
+  asura::io::putParticle(tmp, p);
+  const auto& b = tmp.bytes();
+  ASSERT_GE(b.size(), sizeof(double));
+  w.putBytes(b.data(), b.size() - sizeof(double));  // strip trailing work f64
 }
 
 TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
@@ -583,7 +596,7 @@ TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
     ww.putF64(v);
   });
   w.putVector(ic, [](asura::io::ByteWriter& ww, const Particle& p) {
-    asura::io::putParticle(ww, p);
+    putParticlePreV3(ww, p);
   });
   w.putBool(true);  // pool present
   // v1 pendings: (release_step, region) only — no job id, no counter after.
@@ -595,7 +608,7 @@ TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
   w.putVector(pendings, [](asura::io::ByteWriter& ww, const V1Pending& pr) {
     ww.putI64(pr.release);
     ww.putVector(pr.region, [](asura::io::ByteWriter& w3, const Particle& p) {
-      asura::io::putParticle(w3, p);
+      putParticlePreV3(w3, p);
     });
   });
   w.putBool(false);  // no distributed engine
@@ -615,11 +628,11 @@ TEST(Checkpoint, StateVersionOnePayloadStillRestores) {
   EXPECT_TRUE(restored[1].region.empty());
   EXPECT_EQ(sim.pool()->nextJobId(), 1u) << "v1 restore must not touch the counter";
 
-  // Re-serialization upgrades the payload in place: version word now 2.
+  // Re-serialization upgrades the payload in place: version word now 3.
   asura::io::ByteWriter w2;
   sim.serializeState(w2);
   asura::io::ByteReader r2(w2.bytes().data(), w2.bytes().size());
-  EXPECT_EQ(r2.getU32(), 2u);
+  EXPECT_EQ(r2.getU32(), 3u);
 }
 
 // ---------------------------------------------------------------------------
